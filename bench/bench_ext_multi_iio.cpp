@@ -1,0 +1,60 @@
+// Extension (paper section 7: hosts with "multiple IIOs"): two peripheral
+// devices sharing one IIO stack vs split across two stacks.
+//
+// Credits are per stack, so stack placement decides whether two P2M-Write
+// streams share one 92-credit pool or get one each. Under red-regime
+// latency inflation the shared pool becomes the binding constraint first.
+#include <string>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "core/host_system.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace hostnet;
+
+namespace {
+
+struct Result {
+  double p2m_total;
+  double p2m_latency;
+};
+
+Result run(bool split_stacks, std::uint32_t c2m_cores) {
+  core::HostConfig hc = core::cascade_lake();
+  // Two 7 GB/s devices (x8 links) instead of one 14 GB/s aggregate.
+  core::HostSystem host(hc);
+  const std::size_t stack_b = split_stacks ? host.add_iio_stack(hc.iio) : 0;
+  for (std::uint32_t i = 0; i < c2m_cores; ++i)
+    host.add_core(workloads::c2m_read_write(workloads::c2m_core_region(i)));
+  auto dev = workloads::fio_p2m_write(hc, workloads::p2m_region());
+  dev.link_gb_per_s = 7.0;
+  host.add_storage(dev, 0);
+  auto dev2 = dev;
+  dev2.region.base += 2ull << 30;
+  host.add_storage(dev2, stack_b);
+  host.run(core::default_run_options().warmup, core::default_run_options().measure);
+  const auto m = host.collect();
+  return Result{m.p2m_dev_gbps, m.p2m_write.latency_ns};
+}
+
+}  // namespace
+
+int main() {
+  banner("Multi-IIO extension: 2 x 7 GB/s NVMe devices, shared vs split stacks");
+  Table t({"C2M-RW cores", "P2M GB/s (shared stack)", "P2M GB/s (split stacks)",
+           "P2M-W lat shared (ns)", "P2M-W lat split (ns)"});
+  for (std::uint32_t n : {0u, 2u, 4u, 6u}) {
+    const Result shared = run(false, n);
+    const Result split = run(true, n);
+    t.row({std::to_string(n), Table::num(shared.p2m_total, 1),
+           Table::num(split.p2m_total, 1), Table::num(shared.p2m_latency, 0),
+           Table::num(split.p2m_latency, 0)});
+  }
+  t.print();
+  std::printf("\nSplitting devices across IIO stacks doubles the P2M-Write credit\n"
+              "pool (92 -> 2x92): the same latency inflation that starves a shared\n"
+              "stack is absorbed when each device has its own credits -- the domain\n"
+              "law T <= C*64/L applied to topology planning.\n");
+  return 0;
+}

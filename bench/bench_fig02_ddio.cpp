@@ -1,0 +1,70 @@
+// Figure 2: DDIO can worsen C2M performance degradation when the P2M
+// working set does not fit in the cache (Cascade Lake; Redis and GAPBS
+// colocated with FIO sequential reads, DDIO on vs off).
+//
+// Mechanism as modeled (DESIGN.md): with DDIO on, inbound DMA writes
+// allocate in the LLC's DDIO ways and the *evicted victims'* write-backs
+// reach memory in hashed-set order, destroying the DMA stream's row
+// locality and inflating MC queueing -- which hurts the colocated C2M app.
+// P2M bandwidth itself is unchanged (same write volume), matching the
+// paper's Figure 2(c,d).
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace hostnet;
+
+namespace {
+
+void run_app(const char* title, const core::C2MSpec& base,
+             const std::vector<std::uint32_t>& cores) {
+  auto opt = core::default_run_options();
+  // DDIO's victim stream needs the DDIO ways warmed (4 MB at 14 GB/s).
+  opt.warmup = std::max(opt.warmup, us(600));
+
+  banner(title);
+  Table t({"C2M cores", "C2M degr (DDIO on)", "C2M degr (DDIO off)", "P2M degr (on)",
+           "P2M degr (off)", "P2M mem GB/s (on/off)"});
+  for (auto n : cores) {
+    core::C2MSpec c2m = base;
+    c2m.cores = n;
+    std::array<core::ColocationOutcome, 2> out;
+    std::array<double, 2> p2m_bw{};
+    for (int ddio = 0; ddio < 2; ++ddio) {
+      core::HostConfig host = core::cascade_lake();
+      host.cha.ddio = ddio == 1;
+      core::P2MSpec p2m;
+      p2m.storage = workloads::fio_p2m_write(host, workloads::p2m_region());
+      out[ddio] = core::run_colocation(host, c2m, p2m, opt);
+      p2m_bw[ddio] = out[ddio].colo.metrics.p2m_mem_gbps();
+    }
+    t.row({std::to_string(n), Table::num(out[1].c2m_degradation()) + "x",
+           Table::num(out[0].c2m_degradation()) + "x",
+           Table::num(out[1].p2m_degradation()) + "x",
+           Table::num(out[0].p2m_degradation()) + "x",
+           Table::num(p2m_bw[1], 1) + " / " + Table::num(p2m_bw[0], 1)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::uint32_t> cores{1, 2, 3, 4, 5, 6};
+  {
+    core::C2MSpec redis;
+    redis.workload = workloads::redis_read(workloads::c2m_core_region(0));
+    run_app("Fig 2(a,c): Redis + P2M-Write, DDIO on vs off (Cascade Lake)", redis, cores);
+  }
+  {
+    core::C2MSpec gapbs;
+    gapbs.workload = workloads::gapbs_pr(workloads::c2m_shared_region());
+    gapbs.per_core_region = false;
+    run_app("Fig 2(b,d): GAPBS-PR + P2M-Write, DDIO on vs off (Cascade Lake)", gapbs,
+            cores);
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Figure 6 + section 4.2: evidence for the domains and their
+// characteristics.
+//
+// (a) C2M-Read sweep: LFB latency vs CHA->DRAM read latency. The LFB
+//     latency must always exceed (and inflate in lockstep with) the
+//     CHA->DRAM latency: the C2M-Read domain spans all hops to DRAM.
+// (b) C2M-ReadWrite sweep: LFB latency vs CHA->MC write latency. The
+//     CHA->MC write latency can exceed the LFB latency, proving the
+//     C2M-Write domain does NOT include the MC.
+// (c) Low-load P2M (4 KB QD1 storage reads) colocated with C2M-ReadWrite:
+//     IIO latency vs CHA->MC write latency -- the IIO latency is inclusive
+//     of it (the P2M-Write domain DOES include the MC).
+// (d) Credit counts: max LFB occupancy (10-12), IIO write-buffer occupancy
+//     saturation (~92), in-flight P2M reads at the CHA (lower bound on the
+//     P2M-Read credits).
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace hostnet;
+
+int main() {
+  const core::HostConfig host = core::cascade_lake();
+  const auto opt = core::default_run_options();
+  const std::vector<std::uint32_t> cores{1, 2, 3, 4, 5, 6};
+
+  // (a) C2M-Read: LFB vs CHA->DRAM read latency.
+  banner("Fig 6(a): C2M-Read -- LFB latency vs CHA->DRAM read latency");
+  {
+    Table t({"C2M cores", "LFB lat (ns)", "CHA->DRAM read lat (ns)", "LFB max occ"});
+    for (auto n : cores) {
+      core::C2MSpec c2m;
+      c2m.workload = workloads::c2m_read(workloads::c2m_core_region(0));
+      c2m.cores = n;
+      const auto r = core::run_workloads(host, c2m, std::nullopt, opt);
+      t.row({std::to_string(n), Table::num(r.metrics.lfb_latency_ns, 1),
+             Table::num(r.metrics.cha_dram_read_latency_c2m_ns, 1),
+             std::to_string(r.metrics.lfb_max_occupancy)});
+    }
+    t.print();
+  }
+
+  // (b) C2M-ReadWrite: LFB vs CHA->MC write latency.
+  banner("Fig 6(b): C2M-ReadWrite -- LFB latency vs CHA->MC write latency");
+  {
+    Table t({"C2M cores", "LFB lat (ns)", "CHA->MC write lat (ns)", "C2M-Write lat (ns)"});
+    for (auto n : cores) {
+      core::C2MSpec c2m;
+      c2m.workload = workloads::c2m_read_write(workloads::c2m_core_region(0));
+      c2m.cores = n;
+      const auto r = core::run_workloads(host, c2m, std::nullopt, opt);
+      t.row({std::to_string(n), Table::num(r.metrics.lfb_latency_ns, 1),
+             Table::num(r.metrics.cha_mc_write_latency_ns, 1),
+             Table::num(r.metrics.c2m_write.latency_ns, 1)});
+    }
+    t.print();
+  }
+
+  // (c) P2M-Write domain: low-load P2M colocated with C2M-ReadWrite.
+  banner("Fig 6(c,d): 4KB-QD1 P2M-Write -- IIO latency vs CHA->MC write latency");
+  {
+    Table t({"C2M cores", "IIO lat (ns)", "CHA->MC write lat (ns)", "IIO wr occ (avg)"});
+    for (std::uint32_t n = 0; n <= 6; ++n) {
+      core::C2MSpec c2m;
+      c2m.workload = workloads::c2m_read_write(workloads::c2m_core_region(0));
+      c2m.cores = n;
+      core::P2MSpec p2m;
+      p2m.storage = workloads::fio_4k_qd1(host, workloads::p2m_region());
+      const auto r = core::run_workloads(
+          host, n > 0 ? std::optional<core::C2MSpec>(c2m) : std::nullopt, p2m, opt);
+      t.row({std::to_string(n), Table::num(r.metrics.p2m_write.latency_ns, 1),
+             Table::num(r.metrics.cha_mc_write_latency_ns, 1),
+             Table::num(r.metrics.p2m_write.credits_in_use, 1)});
+    }
+    t.print();
+  }
+
+  // (d) Credit counts under saturation.
+  banner("Fig 6(d)/§4.2: domain credit counts");
+  {
+    Table t({"measurement", "value", "paper"});
+    {
+      core::C2MSpec c2m;
+      c2m.workload = workloads::c2m_read(workloads::c2m_core_region(0));
+      c2m.cores = 1;
+      const auto r = core::run_workloads(host, c2m, std::nullopt, opt);
+      t.row({"max LFB occupancy (C2M-Read, 1 core)",
+             std::to_string(r.metrics.lfb_max_occupancy), "10-12"});
+      t.row({"unloaded C2M-Read latency (ns)", Table::num(r.metrics.lfb_latency_ns, 1),
+             "~70"});
+    }
+    {
+      // P2M-Write saturating PCIe + max C2M load: IIO write buffer fills.
+      core::C2MSpec c2m;
+      c2m.workload = workloads::c2m_read_write(workloads::c2m_core_region(0));
+      c2m.cores = 6;
+      core::P2MSpec p2m;
+      p2m.storage = workloads::fio_p2m_write(host, workloads::p2m_region());
+      const auto r = core::run_workloads(host, c2m, p2m, opt);
+      t.row({"IIO write buffer occupancy saturation",
+             Table::num(r.metrics.p2m_write.max_credits_used, 0), "~92"});
+    }
+    {
+      core::C2MSpec c2m;
+      c2m.workload = workloads::c2m_read(workloads::c2m_core_region(0));
+      c2m.cores = 6;
+      core::P2MSpec p2m;
+      p2m.storage = workloads::fio_p2m_read(host, workloads::p2m_region());
+      const auto r = core::run_workloads(host, c2m, p2m, opt);
+      t.row({"in-flight P2M reads at CHA (max, lower bound on credits)",
+             std::to_string(r.metrics.p2m_reads_in_flight_at_cha_max), ">=164"});
+    }
+    {
+      core::P2MSpec p2m;
+      p2m.storage = workloads::fio_4k_qd1(host, workloads::p2m_region());
+      const auto r = core::run_workloads(host, std::nullopt, p2m, opt);
+      t.row({"unloaded P2M-Write domain latency (ns)",
+             Table::num(r.metrics.p2m_write.latency_ns, 1), "~300"});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 11: accuracy of the analytical formulae (section 6).
+//
+// For every quadrant and C2M core count, feed the measured counter inputs
+// (Table 2) into the read/write domain-latency formulae, estimate
+// throughput via the domain law, and report the relative error vs the
+// measured throughput. Positive = overestimation.
+//
+// Quadrants 1/2/4 report C2M error; quadrant 3 reports both C2M and P2M,
+// with and without the CHA admission-delay correction (the paper's fix for
+// the >4-core regime where CHA backpressure inflates both domains).
+#include <string>
+#include <vector>
+
+#include "analytic/formula.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace hostnet;
+
+namespace {
+
+analytic::Constants calibrate(const core::HostConfig& host, const core::RunOptions& opt) {
+  analytic::Constants c;
+  // Unloaded C2M-Read domain latency: single isolated core.
+  core::C2MSpec c2m;
+  c2m.workload = workloads::c2m_read(workloads::c2m_core_region(0));
+  c2m.cores = 1;
+  c.c2m_read_ns = core::run_workloads(host, c2m, std::nullopt, opt).metrics.lfb_latency_ns;
+  // Unloaded P2M-Write domain latency: low-load 4KB QD1 probe.
+  core::P2MSpec probe;
+  probe.storage = workloads::fio_4k_qd1(host, workloads::p2m_region());
+  c.p2m_write_ns =
+      core::run_workloads(host, std::nullopt, probe, opt).metrics.p2m_write.latency_ns;
+  // Unloaded P2M-Read domain latency: isolated P2M-Read at low load is
+  // link-limited with spare credits; L = O*64/T by Little's law.
+  core::P2MSpec rd;
+  rd.storage = workloads::fio_p2m_read(host, workloads::p2m_region());
+  const auto m = core::run_workloads(host, std::nullopt, rd, opt).metrics;
+  c.p2m_read_ns = m.p2m_read.latency_ns;
+  c.c2m_write_ns = 10.0;
+  return c;
+}
+
+double measured_gbps(analytic::DomainKind kind, const core::Metrics& m) {
+  switch (kind) {
+    case analytic::DomainKind::kC2MRead:
+    case analytic::DomainKind::kC2MReadWrite:
+      return m.c2m_read.throughput_gbps;
+    case analytic::DomainKind::kP2MRead:
+      return m.p2m_read.throughput_gbps;
+    case analytic::DomainKind::kP2MWrite:
+      return m.p2m_write.throughput_gbps;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  const core::HostConfig host = core::cascade_lake();
+  const auto opt = core::default_run_options();
+  const std::vector<std::uint32_t> cores{1, 2, 3, 4, 5, 6};
+  const auto constants = calibrate(host, opt);
+
+  struct Quad {
+    const char* name;
+    bool c2m_writes;
+    bool p2m_writes;
+  };
+  const Quad quads[] = {
+      {"Quadrant 1 (C2M-Read + P2M-Write)", false, true},
+      {"Quadrant 2 (C2M-Read + P2M-Read)", false, false},
+      {"Quadrant 3 (C2M-ReadWrite + P2M-Write)", true, true},
+      {"Quadrant 4 (C2M-ReadWrite + P2M-Read)", true, false},
+  };
+
+  for (const auto& q : quads) {
+    core::C2MSpec c2m;
+    c2m.workload = q.c2m_writes ? workloads::c2m_read_write(workloads::c2m_core_region(0))
+                                : workloads::c2m_read(workloads::c2m_core_region(0));
+    core::P2MSpec p2m;
+    p2m.storage = q.p2m_writes ? workloads::fio_p2m_write(host, workloads::p2m_region())
+                               : workloads::fio_p2m_read(host, workloads::p2m_region());
+    const auto c2m_kind = q.c2m_writes ? analytic::DomainKind::kC2MReadWrite
+                                       : analytic::DomainKind::kC2MRead;
+    const auto p2m_kind =
+        q.p2m_writes ? analytic::DomainKind::kP2MWrite : analytic::DomainKind::kP2MRead;
+
+    banner(std::string("Fig 11: formula error, ") + q.name);
+    Table t({"C2M cores", "C2M err", "C2M err (+CHA)", "P2M err", "P2M err (+CHA)"});
+    for (auto n : cores) {
+      c2m.cores = n;
+      const auto m = core::run_workloads(host, c2m, p2m, opt).metrics;
+      const auto e_c = analytic::estimate(c2m_kind, m, host.mc.timing, constants);
+      const auto e_cc = analytic::estimate(c2m_kind, m, host.mc.timing, constants,
+                                           {.add_cha_admission_delay = true});
+      const auto e_p = analytic::estimate(p2m_kind, m, host.mc.timing, constants);
+      const auto e_pc = analytic::estimate(p2m_kind, m, host.mc.timing, constants,
+                                           {.add_cha_admission_delay = true});
+      t.row({std::to_string(n),
+             Table::pct(relative_error_pct(e_c.throughput_gbps, measured_gbps(c2m_kind, m))),
+             Table::pct(relative_error_pct(e_cc.throughput_gbps, measured_gbps(c2m_kind, m))),
+             Table::pct(relative_error_pct(e_p.throughput_gbps, measured_gbps(p2m_kind, m))),
+             Table::pct(relative_error_pct(e_pc.throughput_gbps, measured_gbps(p2m_kind, m)))});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figures 15-17 (Appendix B): application results with all C2M/P2M
+// read/write combinations, DDIO on vs off (Cascade Lake).
+//
+//   Fig 15: Redis-Write and GAPBS-BC (C2M-ReadWrite) + P2M-Write
+//   Fig 16: Redis-Read and GAPBS-PR (C2M-Read)      + P2M-Read
+//   Fig 17: Redis-Write and GAPBS-BC (C2M-ReadWrite) + P2M-Read
+//
+// Expected trends: C2M apps degrade, P2M is unaffected; DDIO worsens C2M
+// degradation only when colocated with P2M-Write (LLC allocations /
+// evictions); with P2M-Read, DDIO on/off is identical.
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace hostnet;
+
+namespace {
+
+void run_combo(const char* title, const core::C2MSpec& base, bool p2m_writes) {
+  auto opt = core::default_run_options();
+  opt.warmup = std::max(opt.warmup, us(600));
+  const std::vector<std::uint32_t> cores{1, 2, 4, 6};
+
+  banner(title);
+  Table t({"C2M cores", "C2M degr (DDIO on)", "C2M degr (DDIO off)", "P2M degr (on)",
+           "P2M degr (off)"});
+  for (auto n : cores) {
+    core::C2MSpec c2m = base;
+    c2m.cores = n;
+    std::array<core::ColocationOutcome, 2> out;
+    for (int ddio = 0; ddio < 2; ++ddio) {
+      core::HostConfig host = core::cascade_lake();
+      host.cha.ddio = ddio == 1;
+      core::P2MSpec p2m;
+      p2m.storage = p2m_writes ? workloads::fio_p2m_write(host, workloads::p2m_region())
+                               : workloads::fio_p2m_read(host, workloads::p2m_region());
+      out[ddio] = core::run_colocation(host, c2m, p2m, opt);
+    }
+    t.row({std::to_string(n), Table::num(out[1].c2m_degradation()) + "x",
+           Table::num(out[0].c2m_degradation()) + "x",
+           Table::num(out[1].p2m_degradation()) + "x",
+           Table::num(out[0].p2m_degradation()) + "x"});
+  }
+  t.print();
+}
+
+core::C2MSpec redis_write_spec() {
+  core::C2MSpec s;
+  s.name = "Redis-Write";
+  s.workload = workloads::redis_write(workloads::c2m_core_region(0));
+  return s;
+}
+
+core::C2MSpec redis_read_spec() {
+  core::C2MSpec s;
+  s.name = "Redis-Read";
+  s.workload = workloads::redis_read(workloads::c2m_core_region(0));
+  return s;
+}
+
+core::C2MSpec gapbs_bc_spec() {
+  core::C2MSpec s;
+  s.name = "GAPBS-BC";
+  s.workload = workloads::gapbs_bc(workloads::c2m_shared_region());
+  s.per_core_region = false;
+  return s;
+}
+
+core::C2MSpec gapbs_pr_spec() {
+  core::C2MSpec s;
+  s.name = "GAPBS-PR";
+  s.workload = workloads::gapbs_pr(workloads::c2m_shared_region());
+  s.per_core_region = false;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  run_combo("Fig 15: Redis-Write (C2M-RW) + P2M-Write", redis_write_spec(), true);
+  run_combo("Fig 15: GAPBS-BC (C2M-RW) + P2M-Write", gapbs_bc_spec(), true);
+  run_combo("Fig 16: Redis-Read (C2M-Read) + P2M-Read", redis_read_spec(), false);
+  run_combo("Fig 16: GAPBS-PR (C2M-Read) + P2M-Read", gapbs_pr_spec(), false);
+  run_combo("Fig 17: Redis-Write (C2M-RW) + P2M-Read", redis_write_spec(), false);
+  run_combo("Fig 17: GAPBS-BC (C2M-RW) + P2M-Read", gapbs_bc_spec(), false);
+  return 0;
+}

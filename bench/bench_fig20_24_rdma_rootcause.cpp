@@ -1,0 +1,80 @@
+// Figures 20-24 (Appendix D.1): root-cause measurements for the RDMA case
+// study.
+//
+//   Fig 20: quadrant 1 (C2M-Read + ib_write_bw) counters
+//   Fig 21: quadrant 2 (C2M-Read + ib_read_bw) counters
+//   Fig 22: quadrant 3 (C2M-ReadWrite + ib_write_bw) counters + PFC pauses
+//   Fig 23: microsecond-scale IIO write-buffer occupancy timeline in
+//           quadrant 3 (PFC keeps the IIO buffer full)
+//   Fig 24: quadrant 4 (C2M-ReadWrite + ib_read_bw) counters
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "net/rdma.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace hostnet;
+
+namespace {
+
+void run_quadrant(const char* title, bool c2m_writes, bool p2m_writes,
+                  const core::HostConfig& host) {
+  const auto opt = core::default_run_options();
+  const std::vector<std::uint32_t> cores{1, 2, 3, 4, 5, 6};
+  banner(title);
+  Table t({"C2M cores", "LFB lat (ns)", "RPQ occ", "rowmiss rd",
+           p2m_writes ? "P2M-W lat (ns)" : "P2M-R inflight@CHA",
+           p2m_writes ? "IIO wr occ" : "IIO rd occ", "WPQ full", "PFC pause"});
+  for (auto n : cores) {
+    core::C2MSpec c2m;
+    c2m.workload = c2m_writes ? workloads::c2m_read_write(workloads::c2m_core_region(0))
+                              : workloads::c2m_read(workloads::c2m_core_region(0));
+    c2m.cores = n;
+    net::RdmaSpec rdma;
+    rdma.write_traffic = p2m_writes;
+    const auto o = net::run_rdma(host, c2m, rdma, opt);
+    const auto& m = o.metrics;
+    t.row({std::to_string(n), Table::num(m.lfb_latency_ns, 1),
+           Table::num(m.avg_rpq_occupancy, 1), Table::pct(m.row_miss_ratio_read * 100),
+           p2m_writes ? Table::num(m.p2m_write.latency_ns, 1)
+                      : Table::num(m.p2m_reads_in_flight_at_cha, 1),
+           p2m_writes ? Table::num(m.p2m_write.credits_in_use, 1)
+                      : Table::num(m.p2m_read.credits_in_use, 1),
+           Table::pct(m.wpq_full_fraction * 100), Table::pct(o.pause_fraction * 100)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  const core::HostConfig host = core::cascade_lake();
+  run_quadrant("Fig 20: RDMA quadrant 1 (C2M-Read + ib_write_bw)", false, true, host);
+  run_quadrant("Fig 21: RDMA quadrant 2 (C2M-Read + ib_read_bw)", false, false, host);
+  run_quadrant("Fig 22: RDMA quadrant 3 (C2M-ReadWrite + ib_write_bw)", true, true, host);
+  run_quadrant("Fig 24: RDMA quadrant 4 (C2M-ReadWrite + ib_read_bw)", true, false, host);
+
+  // Fig 23: us-scale IIO write-buffer occupancy, quadrant 3, 5 C2M cores.
+  banner("Fig 23: IIO write-buffer occupancy timeline (RDMA Q3, 5 C2M cores)");
+  {
+    core::C2MSpec c2m;
+    c2m.workload = workloads::c2m_read_write(workloads::c2m_core_region(0));
+    c2m.cores = 5;
+    net::RdmaSpec rdma;
+    auto rh = net::make_rdma_host(host, c2m, rdma, 1);
+    rh.host->run(us(400), us(10));
+    Table t({"t (us)", "IIO wr occupancy", "NIC paused"});
+    for (int i = 0; i < 40; ++i) {
+      rh.host->run_more(us(1));
+      t.row({std::to_string(i + 1),
+             std::to_string(rh.host->iio().write_station().occupancy()),
+             rh.nic->paused() ? "yes" : "no"});
+    }
+    t.print();
+    std::printf("(PFC keeps enough data queued at the NIC to hold the IIO buffer\n"
+                " near its %u-credit capacity, matching the paper's Figure 23.)\n",
+                host.iio.write_credits);
+  }
+  return 0;
+}

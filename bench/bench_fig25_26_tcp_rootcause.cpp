@@ -1,0 +1,56 @@
+// Figures 25 & 26 (Appendix D.2): root-cause measurements for the DCTCP
+// case study.
+//
+//   Fig 25: C2MRead + TCP Rx -- C2M-Read latency inflation slows the copy
+//           (CPU bottleneck); WPQ rarely backpressures; the IIO occupancy
+//           *falls* with load (flow control reduces P2M in-flight).
+//   Fig 26: C2MReadWrite + TCP Rx -- WPQ backpressure inflates the
+//           P2M-Write domain, drops/marks appear, and the sender backs off.
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "net/dctcp.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace hostnet;
+
+namespace {
+
+void run_case(const char* title, bool c2m_writes) {
+  const core::HostConfig hc = core::cascade_lake();
+  const auto opt = core::default_run_options();
+  const std::vector<std::uint32_t> cores{0, 1, 2, 3, 4};
+
+  banner(title);
+  Table t({"C2M cores", "copy LFB lat (ns)", "P2M-W lat (ns)", "WPQ full", "IIO wr occ",
+           "goodput GB/s", "loss", "marks", "avg cwnd"});
+  for (auto n : cores) {
+    core::HostSystem host(hc);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto wl = c2m_writes ? workloads::c2m_read_write(workloads::c2m_core_region(i))
+                           : workloads::c2m_read(workloads::c2m_core_region(i));
+      host.add_core(wl);
+    }
+    net::DctcpConfig cfg;
+    net::TcpReceiver rx(host, cfg);
+    host.run(opt.warmup, opt.measure);
+    const auto m = host.collect();
+    const Tick now = host.sim().now();
+    t.row({std::to_string(n), Table::num(rx.copy_lfb_latency_ns(), 1),
+           Table::num(m.p2m_write.latency_ns, 1),
+           Table::pct(m.wpq_full_fraction * 100),
+           Table::num(m.p2m_write.credits_in_use, 1),
+           Table::num(rx.goodput_gbps(now), 2), Table::pct(rx.loss_rate() * 100, 3),
+           Table::pct(rx.mark_fraction() * 100, 1), Table::num(rx.avg_cwnd(), 1)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  run_case("Fig 25: C2MRead + TCP Rx root-cause counters", false);
+  run_case("Fig 26: C2MReadWrite + TCP Rx root-cause counters", true);
+  return 0;
+}

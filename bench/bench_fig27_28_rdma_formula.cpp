@@ -1,0 +1,87 @@
+// Figures 27 & 28 (Appendix E.1): the analytical formula applied to the
+// RDMA case study -- throughput error per quadrant (Fig 27) and the
+// formula component breakdown (Fig 28).
+#include <string>
+#include <vector>
+
+#include "analytic/formula.hpp"
+#include "common/table.hpp"
+#include "net/rdma.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace hostnet;
+
+namespace {
+
+analytic::Constants calibrate(const core::HostConfig& host, const core::RunOptions& opt) {
+  analytic::Constants c;
+  core::C2MSpec c2m;
+  c2m.workload = workloads::c2m_read(workloads::c2m_core_region(0));
+  c2m.cores = 1;
+  c.c2m_read_ns =
+      core::run_workloads(host, c2m, std::nullopt, opt).metrics.lfb_latency_ns;
+  net::RdmaSpec wr;
+  const auto mw = net::run_rdma(host, std::nullopt, wr, opt).metrics;
+  c.p2m_write_ns = mw.p2m_write.latency_ns;
+  net::RdmaSpec rd;
+  rd.write_traffic = false;
+  const auto mr = net::run_rdma(host, std::nullopt, rd, opt).metrics;
+  c.p2m_read_ns = mr.p2m_read.latency_ns;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const core::HostConfig host = core::cascade_lake();
+  const auto opt = core::default_run_options();
+  const std::vector<std::uint32_t> cores{1, 2, 3, 4, 5, 6};
+  const auto constants = calibrate(host, opt);
+
+  struct Quad {
+    const char* name;
+    bool c2m_writes;
+    bool p2m_writes;
+  };
+  const Quad quads[] = {
+      {"RDMA Quadrant 1", false, true},
+      {"RDMA Quadrant 2", false, false},
+      {"RDMA Quadrant 3", true, true},
+      {"RDMA Quadrant 4", true, false},
+  };
+
+  for (const auto& q : quads) {
+    core::C2MSpec c2m;
+    c2m.workload = q.c2m_writes ? workloads::c2m_read_write(workloads::c2m_core_region(0))
+                                : workloads::c2m_read(workloads::c2m_core_region(0));
+    net::RdmaSpec rdma;
+    rdma.write_traffic = q.p2m_writes;
+    const auto c2m_kind = q.c2m_writes ? analytic::DomainKind::kC2MReadWrite
+                                       : analytic::DomainKind::kC2MRead;
+    const auto p2m_kind =
+        q.p2m_writes ? analytic::DomainKind::kP2MWrite : analytic::DomainKind::kP2MRead;
+
+    banner(std::string("Fig 27/28: formula on ") + q.name);
+    Table t({"C2M cores", "C2M err (+CHA)", "P2M err (+CHA)", "Switching", "HoL other",
+             "HoL same", "TopOfQueue"});
+    for (auto n : cores) {
+      c2m.cores = n;
+      const auto m = net::run_rdma(host, c2m, rdma, opt).metrics;
+      const analytic::EstimateOptions eo{.add_cha_admission_delay = true};
+      const auto ec = analytic::estimate(c2m_kind, m, host.mc.timing, constants, eo);
+      const auto ep = analytic::estimate(p2m_kind, m, host.mc.timing, constants, eo);
+      const double meas_c = m.c2m_read.throughput_gbps;
+      const double meas_p = q.p2m_writes ? m.p2m_write.throughput_gbps
+                                         : m.p2m_read.throughput_gbps;
+      t.row({std::to_string(n),
+             Table::pct(relative_error_pct(ec.throughput_gbps, meas_c)),
+             Table::pct(relative_error_pct(ep.throughput_gbps, meas_p)),
+             Table::num(ec.breakdown.switching_ns, 1) + "ns",
+             Table::num(ec.breakdown.hol_other_ns, 1) + "ns",
+             Table::num(ec.breakdown.hol_same_ns, 1) + "ns",
+             Table::num(ec.breakdown.top_of_queue_ns, 1) + "ns"});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Simulator micro-benchmarks (google-benchmark): event-kernel throughput,
+// DRAM decode, and full-host simulation speed. These guard against
+// performance regressions that would make the figure benches impractical.
+#include <benchmark/benchmark.h>
+
+#include "core/host_system.hpp"
+#include "dram/address_map.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace hostnet;
+
+void BM_EventKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = 100000;
+    std::function<void()> chain = [&] {
+      if (sim.events_executed() < static_cast<std::uint64_t>(n)) sim.schedule(1, chain);
+    };
+    sim.schedule_at(0, chain);
+    sim.run_until(ms(1000));
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_EventKernel)->Unit(benchmark::kMillisecond);
+
+void BM_AddressDecode(benchmark::State& state) {
+  const dram::AddressMap map(2, 32, 8192, 256, dram::BankHash::kXorHash, 8192);
+  std::uint64_t addr = 0;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      addr += 64;
+      const auto c = map.decode(addr);
+      acc += c.bank + c.channel + c.col + static_cast<std::uint64_t>(c.row);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_AddressDecode);
+
+void BM_HostSimulation(benchmark::State& state) {
+  // Simulated-time throughput of a loaded host (4 C2M cores + P2M writes).
+  for (auto _ : state) {
+    const auto hc = core::cascade_lake();
+    core::HostSystem host(hc);
+    for (std::uint32_t i = 0; i < 4; ++i)
+      host.add_core(workloads::c2m_read(workloads::c2m_core_region(i)));
+    host.add_storage(workloads::fio_p2m_write(hc, workloads::p2m_region()));
+    host.run(us(50), us(200));
+    benchmark::DoNotOptimize(host.collect().total_mem_gbps());
+  }
+  state.SetLabel("250us simulated per iteration");
+}
+BENCHMARK(BM_HostSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Network-application receive path under host contention: a DCTCP receiver
+// (NIC DMA + kernel copy cores) sharing the socket with an in-memory
+// analytics job, using the net library's TcpReceiver model.
+//
+// Shows the two coupling loops from the paper's TCP case study: flow
+// control under copy slowdown (blue) vs congestion response under DMA
+// backpressure (red).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/host_system.hpp"
+#include "net/dctcp.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace hostnet;
+
+namespace {
+
+void run_case(const char* label, bool rw, std::uint32_t cores) {
+  const core::HostConfig hc = core::cascade_lake();
+  core::HostSystem host(hc);
+  for (std::uint32_t i = 0; i < cores; ++i)
+    host.add_core(rw ? workloads::c2m_read_write(workloads::c2m_core_region(i))
+                     : workloads::c2m_read(workloads::c2m_core_region(i)));
+  net::DctcpConfig cfg;
+  net::TcpReceiver rx(host, cfg);
+  host.run(us(400), us(1200));
+  const auto m = host.collect();
+  const Tick now = host.sim().now();
+  std::printf("%-28s goodput %5.2f GB/s  loss %6.3f%%  marks %5.1f%%  cwnd %5.1f  "
+              "copy-LFB %5.1f ns  P2M-W %6.1f ns\n",
+              label, rx.goodput_gbps(now), rx.loss_rate() * 100,
+              rx.mark_fraction() * 100, rx.avg_cwnd(), rx.copy_lfb_latency_ns(),
+              m.p2m_write.latency_ns);
+}
+
+}  // namespace
+
+int main() {
+  banner("DCTCP receiver (100G, 4 copy cores) under host-network contention");
+  run_case("isolated", false, 0);
+  run_case("+2 analytics cores (reads)", false, 2);
+  run_case("+4 analytics cores (reads)", false, 4);
+  run_case("+2 analytics cores (r/w)", true, 2);
+  run_case("+4 analytics cores (r/w)", true, 4);
+  std::printf(
+      "\nWith read-only neighbors the receiver slows via the receive window\n"
+      "(no loss): the copy is the bottleneck. With read/write neighbors the\n"
+      "NIC's DMA path itself backs up (P2M-Write latency above) and DCTCP\n"
+      "responds to marks/drops -- throughput collapses much further.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "analytic/formula.hpp"
+
+#include <algorithm>
+
+namespace hostnet::analytic {
+
+FormulaInputs inputs_from_metrics(const core::Metrics& m) {
+  FormulaInputs in;
+  const double nch = m.channels > 0 ? static_cast<double>(m.channels) : 1.0;
+  in.p_fill_wpq = m.wpq_full_fraction;
+  // The formula reasons per channel; counts are aggregated across channels,
+  // so scale the extensive quantities down. Ratios (e.g. #ACT/lines) are
+  // unaffected; N_waiting matters in absolute per-channel terms.
+  in.n_waiting = m.n_waiting / nch;
+  in.switches = static_cast<double>(m.mc_switch_cycles) / nch;
+  in.lines_read = static_cast<double>(m.mc_lines_read) / nch;
+  in.lines_written = static_cast<double>(m.mc_lines_written) / nch;
+  in.o_rpq = m.avg_rpq_occupancy;
+  in.pre_conflict_read = static_cast<double>(m.mc_pre_conflict_read) / nch;
+  in.pre_conflict_write = static_cast<double>(m.mc_pre_conflict_write) / nch;
+  in.act_read = static_cast<double>(m.mc_act_read) / nch;
+  in.act_write = static_cast<double>(m.mc_act_write) / nch;
+  return in;
+}
+
+Breakdown read_queueing_delay(const FormulaInputs& in, const dram::Timing& t) {
+  Breakdown b;
+  if (in.lines_read <= 0) return b;
+  const double t_wtr = to_ns(t.t_wtr);
+  const double t_trans = to_ns(t.t_trans);
+  const double t_act = to_ns(t.t_rcd);
+  const double t_pre = to_ns(t.t_rp);
+  b.switching_ns = in.o_rpq * (in.switches / in.lines_read) * t_wtr;
+  b.hol_other_ns = in.o_rpq * (in.lines_written / in.lines_read) * t_trans;
+  b.hol_same_ns = std::max(0.0, in.o_rpq - 1.0) * t_trans;
+  b.top_of_queue_ns = (in.act_read / in.lines_read) * t_act +
+                      (in.pre_conflict_read / in.lines_read) * t_pre;
+  return b;
+}
+
+Breakdown write_waiting_time(const FormulaInputs& in, const dram::Timing& t) {
+  Breakdown b;
+  if (in.lines_written <= 0) return b;
+  const double t_rtw = to_ns(t.t_rtw);
+  const double t_trans = to_ns(t.t_trans);
+  const double t_act = to_ns(t.t_rcd);
+  const double t_pre = to_ns(t.t_rp);
+  b.switching_ns = in.n_waiting * (in.switches / in.lines_written) * t_rtw;
+  b.hol_other_ns = in.n_waiting * (in.lines_read / in.lines_written) * t_trans;
+  b.hol_same_ns = std::max(0.0, in.n_waiting - 1.0) * t_trans;
+  b.top_of_queue_ns = (in.act_write / in.lines_written) * t_act +
+                      (in.pre_conflict_write / in.lines_written) * t_pre;
+  return b;
+}
+
+double read_domain_latency_ns(double constant_ns, const FormulaInputs& in,
+                              const dram::Timing& t) {
+  return constant_ns + read_queueing_delay(in, t).total_ns();
+}
+
+double write_domain_latency_ns(double constant_ns, const FormulaInputs& in,
+                               const dram::Timing& t) {
+  return constant_ns + in.p_fill_wpq * write_waiting_time(in, t).total_ns();
+}
+
+double estimate_throughput_gbps(double credits_in_use, double latency_ns) {
+  if (latency_ns <= 0) return 0;
+  return credits_in_use * static_cast<double>(kCachelineBytes) / latency_ns;
+}
+
+ThroughputEstimate estimate(DomainKind kind, const core::Metrics& m,
+                            const dram::Timing& t, const Constants& c,
+                            const EstimateOptions& opt) {
+  const FormulaInputs in = inputs_from_metrics(m);
+  ThroughputEstimate e;
+  const auto wait = [&m](mem::TrafficClass cls) {
+    return m.cha_admission_wait_ns[static_cast<std::size_t>(cls)];
+  };
+
+  switch (kind) {
+    case DomainKind::kC2MRead: {
+      e.breakdown = read_queueing_delay(in, t);
+      e.latency_ns = c.c2m_read_ns + e.breakdown.total_ns();
+      if (opt.add_cha_admission_delay)
+        e.cha_admission_delay_ns = wait(mem::TrafficClass::kC2MRead);
+      const double credits =
+          m.lfb_avg_occupancy * static_cast<double>(m.c2m_cores);
+      e.throughput_gbps =
+          estimate_throughput_gbps(credits, e.latency_ns + e.cha_admission_delay_ns);
+      break;
+    }
+    case DomainKind::kC2MReadWrite: {
+      // LFB entries are held for the read phase plus the C2M-Write phase.
+      e.breakdown = read_queueing_delay(in, t);
+      e.latency_ns = c.c2m_read_ns + c.c2m_write_ns + e.breakdown.total_ns();
+      if (opt.add_cha_admission_delay)
+        e.cha_admission_delay_ns =
+            wait(mem::TrafficClass::kC2MRead) + wait(mem::TrafficClass::kC2MWrite);
+      const double credits =
+          m.lfb_avg_occupancy * static_cast<double>(m.c2m_cores);
+      e.throughput_gbps =
+          estimate_throughput_gbps(credits, e.latency_ns + e.cha_admission_delay_ns);
+      break;
+    }
+    case DomainKind::kP2MRead: {
+      e.breakdown = read_queueing_delay(in, t);
+      e.latency_ns = c.p2m_read_ns + e.breakdown.total_ns();
+      if (opt.add_cha_admission_delay)
+        e.cha_admission_delay_ns = wait(mem::TrafficClass::kP2MRead);
+      e.throughput_gbps = estimate_throughput_gbps(
+          m.p2m_read.credits_in_use, e.latency_ns + e.cha_admission_delay_ns);
+      break;
+    }
+    case DomainKind::kP2MWrite: {
+      e.breakdown = write_waiting_time(in, t);
+      e.latency_ns = c.p2m_write_ns + in.p_fill_wpq * e.breakdown.total_ns();
+      if (opt.add_cha_admission_delay)
+        e.cha_admission_delay_ns = wait(mem::TrafficClass::kP2MWrite);
+      e.throughput_gbps = estimate_throughput_gbps(
+          m.p2m_write.credits_in_use, e.latency_ns + e.cha_admission_delay_ns);
+      break;
+    }
+  }
+  return e;
+}
+
+}  // namespace hostnet::analytic

@@ -1,0 +1,94 @@
+// The paper's analytical latency formulae (section 6, Figures 9 & 10).
+//
+// Given PMU-measured inputs (Table 2) the formula predicts the average
+// read/write domain latency as a constant (unloaded path latency) plus the
+// queueing/admission delay at the memory controller, decomposed into:
+//   switching delay, write (read) head-of-line blocking, read (write)
+//   head-of-line blocking, and top-of-queue PRE/ACT delay.
+// Throughput then follows from Little's law: T = credits x 64 / L.
+#pragma once
+
+#include "common/units.hpp"
+#include "core/metrics.hpp"
+#include "dram/timing.hpp"
+
+namespace hostnet::analytic {
+
+/// Formula inputs (paper Table 2). All "#" quantities are counts over the
+/// measurement window, aggregated across channels; occupancies are
+/// per-channel averages.
+struct FormulaInputs {
+  double p_fill_wpq = 0;          ///< probability the WPQ is full
+  double n_waiting = 0;           ///< writes awaiting WPQ admission (CHA backlog)
+  double switches = 0;            ///< read<->write mode switch cycles
+  double lines_read = 0;          ///< cachelines read
+  double lines_written = 0;       ///< cachelines written
+  double o_rpq = 0;               ///< average RPQ occupancy (per channel)
+  double pre_conflict_read = 0;   ///< precharges due to row conflicts (reads)
+  double pre_conflict_write = 0;
+  double act_read = 0;            ///< activations (reads)
+  double act_write = 0;
+};
+
+/// Extract the inputs from a measured Metrics snapshot.
+FormulaInputs inputs_from_metrics(const core::Metrics& m);
+
+struct Breakdown {
+  double switching_ns = 0;
+  double hol_other_ns = 0;  ///< write HoL for reads; read HoL for writes
+  double hol_same_ns = 0;   ///< read HoL for reads; write HoL for writes
+  double top_of_queue_ns = 0;
+  double total_ns() const {
+    return switching_ns + hol_other_ns + hol_same_ns + top_of_queue_ns;
+  }
+};
+
+/// QD_read (Figure 9): average queueing delay at the MC for reads.
+Breakdown read_queueing_delay(const FormulaInputs& in, const dram::Timing& t);
+
+/// X_write (Figure 10): average waiting time for a write when the WPQ is
+/// full. The admission delay AD_write = P_fill * X_write.
+Breakdown write_waiting_time(const FormulaInputs& in, const dram::Timing& t);
+
+/// L_read = Constant_read + QD_read.
+double read_domain_latency_ns(double constant_ns, const FormulaInputs& in,
+                              const dram::Timing& t);
+
+/// L_write = Constant_write + P_fill * X_write.
+double write_domain_latency_ns(double constant_ns, const FormulaInputs& in,
+                               const dram::Timing& t);
+
+/// Domain throughput estimate from average credits in use and estimated
+/// latency (Little's law / the domain law).
+double estimate_throughput_gbps(double credits_in_use, double latency_ns);
+
+/// Which latency expression a workload's bottleneck domain uses.
+enum class DomainKind { kC2MRead, kC2MReadWrite, kP2MRead, kP2MWrite };
+
+struct ThroughputEstimate {
+  double latency_ns = 0;
+  double throughput_gbps = 0;
+  Breakdown breakdown{};
+  double cha_admission_delay_ns = 0;  ///< included only when requested
+};
+
+struct EstimateOptions {
+  /// Add the measured CHA admission delay to the formula output (the
+  /// correction the paper applies for quadrant 3 beyond 4 C2M cores).
+  bool add_cha_admission_delay = false;
+};
+
+/// End-to-end throughput estimate for a workload class from measured
+/// metrics. `constant_ns` values are the unloaded domain latencies (§4.2).
+struct Constants {
+  double c2m_read_ns = 70;
+  double c2m_write_ns = 10;
+  double p2m_read_ns = 0;   ///< set from the measured unloaded latency
+  double p2m_write_ns = 300;
+};
+
+ThroughputEstimate estimate(DomainKind kind, const core::Metrics& m,
+                            const dram::Timing& t, const Constants& c,
+                            const EstimateOptions& opt = {});
+
+}  // namespace hostnet::analytic

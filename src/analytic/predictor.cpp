@@ -1,0 +1,203 @@
+#include "analytic/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hostnet::analytic {
+
+namespace {
+
+/// Solve one workload mix to its fixed point (no degradation bookkeeping).
+Prediction solve(const core::HostConfig& host, const PredictorWorkload& wl,
+                 const Constants& c) {
+  const dram::Timing& t = host.mc.timing;
+  const double nch = host.dram.channels;
+  const double t_trans = to_ns(t.t_trans);
+  const double line_gb = static_cast<double>(kCachelineBytes);
+
+  // Effective per-channel line service rate (GB/s) with ~97% row-hit bus
+  // efficiency for the streaming workloads modeled here.
+  const double ch_capacity = line_gb / t_trans * 0.97;
+
+  // Drain batch: writes issued per write mode visit (high -> low watermark;
+  // refill during the drain extends it by 1/(1-rho_w), capped).
+  const double batch_base =
+      static_cast<double>(host.mc.wpq_high_wm - host.mc.wpq_low_wm);
+
+  Prediction p;
+  double r_c = wl.c2m_cores > 0 ? 5.0 : 0.0;  // GB/s, initial guesses
+  double w_p = wl.p2m_write_offered_gbps;
+  double r_p = wl.p2m_read_offered_gbps;
+  double l_read = c.c2m_read_ns;
+  double l_pw = c.p2m_write_ns;
+
+  const double credits_c2m = static_cast<double>(wl.c2m_cores * host.core.lfb_entries);
+  const double credits_pw = static_cast<double>(host.iio.write_credits);
+  const double credits_pr = static_cast<double>(host.iio.read_credits);
+
+  for (p.iterations = 1; p.iterations <= 200; ++p.iterations) {
+    const double w_c = wl.c2m_writes ? r_c : 0.0;
+    const double reads = r_c + r_p;
+    const double writes = w_c + w_p;
+
+    // Per-channel rates (GB/s).
+    const double r_ch = reads / nch;
+    const double w_ch = writes / nch;
+
+    // Write service share: the drain policy grants writes bounded channel
+    // time; read priority (the dwell) keeps reads first. Model the write
+    // capacity as a fraction of the channel.
+    const double w_cap_ch = 0.48 * ch_capacity;
+    // Smooth overload indicator (a hard threshold makes the fixed point
+    // oscillate across the boundary).
+    const double overload = std::clamp((w_ch / w_cap_ch - 0.85) * 8.0, 0.0, 1.0);
+
+    // Switch cycles per written line: one write->read switch per drain.
+    const double rho_w = std::min(0.9, w_ch / ch_capacity);
+    const double batch = batch_base / std::max(0.2, 1.0 - 1.4 * rho_w);
+    const double switches_per_wline = writes > 0 ? 1.0 / batch : 0.0;
+
+    // Row-miss closure: sequential base (one ACT per row) plus page-close
+    // interruptions -- every drain idles every active read stream's row.
+    const double drain_rate_ch = (w_ch / line_gb) * switches_per_wline;  // drains/ns
+    const double streams_ch =
+        static_cast<double>(wl.c2m_cores) + (w_p + r_p > 0 ? 4.0 : 0.0);
+    const double read_line_rate_ch = std::max(1e-6, r_ch / line_gb);  // lines/ns
+    double miss =
+        1.0 / host.dram.row_bytes * kCachelineBytes +
+        (writes > 0 ? std::min(0.25, drain_rate_ch * streams_ch / read_line_rate_ch /
+                                          std::max(1.0, streams_ch))
+                    : 0.0);
+    miss = std::clamp(miss, 0.0, 0.4);
+
+    // RPQ occupancy via Little's law on the estimated MC queueing delay.
+    // The 0.55 closure factor accounts for drain-synchronized bursts: the
+    // queue builds during write drains and clears right after, so the time
+    // average sits below rate x delay.
+    const double mc_queueing = std::max(0.0, l_read - c.c2m_read_ns);
+    double o_rpq = 0.55 * read_line_rate_ch * mc_queueing;
+    // Saturation queueing (M/M/1-flavored): even without drain blocking,
+    // reads queue as total channel utilization approaches one.
+    const double rho = std::min(0.98, (r_ch + w_ch) / ch_capacity);
+    o_rpq += 0.4 * rho * rho / (1.0 - rho);
+    o_rpq = std::min(o_rpq, static_cast<double>(host.mc.rpq_capacity));
+
+    // Paper formula inputs, per channel, normalized per read line.
+    FormulaInputs in;
+    in.o_rpq = o_rpq;
+    in.lines_read = 1.0;
+    in.lines_written = reads > 0 ? writes / reads : 0.0;
+    in.switches = reads > 0 ? switches_per_wline * (writes / reads) : 0.0;
+    in.act_read = miss;
+    in.pre_conflict_read = miss * 0.3;  // most closes are background (empty)
+    in.act_write = miss * in.lines_written;
+    in.pre_conflict_write = miss * 0.3 * in.lines_written;
+    in.n_waiting = 0;  // set below
+    in.p_fill_wpq = 0;
+
+    const double qd_read = read_queueing_delay(in, t).total_ns();
+    double l_read_new = c.c2m_read_ns + qd_read;
+
+    // Write path: backlog forms once write demand reaches the write
+    // capacity; it is capped by the CHA tracker + WPQ depth.
+    const double n_waiting =
+        2.0 + overload * static_cast<double>(host.cha.write_tracker) / nch;
+    const double p_fill =
+        std::max(overload, std::clamp((w_ch / w_cap_ch - 0.75) * 4.0, 0.0, 1.0));
+    in.n_waiting = n_waiting;
+    in.p_fill_wpq = p_fill;
+    // The write formula normalizes per written line.
+    FormulaInputs win = in;
+    win.lines_written = 1.0;
+    win.lines_read = writes > 0 ? reads / writes : 0.0;
+    win.switches = switches_per_wline;
+    win.act_write = miss;
+    win.pre_conflict_write = miss * 0.3;
+    const double l_pw_new =
+        c.p2m_write_ns + p_fill * write_waiting_time(win, t).total_ns();
+
+    // Phase 2: CPU write-backs stall once the tracker pins full; the LFB
+    // write phase then extends until a slot frees.
+    double l_write_phase = c.c2m_write_ns;
+    if (wl.c2m_writes && overload > 0) {
+      const double w_service = w_cap_ch * nch;
+      const double cpu_share = w_c / std::max(1e-6, writes);
+      l_write_phase += overload * credits_c2m * line_gb /
+                       std::max(1e-6, w_service * cpu_share) * 0.25;
+    }
+
+    // Domain law.
+    double r_c_new = 0.0;
+    if (wl.c2m_cores > 0)
+      r_c_new = credits_c2m * line_gb / (l_read_new + (wl.c2m_writes ? l_write_phase : 0));
+    // Channel feasibility: scale C2M down if total demand exceeds capacity.
+    const double cap_total = ch_capacity * nch;
+    const double others = (wl.c2m_writes ? r_c_new : 0.0) + w_p + r_p;
+    if (r_c_new + others > cap_total) {
+      const double avail = std::max(1.0, cap_total - w_p - r_p);
+      r_c_new = std::min(r_c_new, avail / (wl.c2m_writes ? 2.0 : 1.0));
+    }
+
+    double w_p_new = wl.p2m_write_offered_gbps;
+    if (w_p_new > 0) w_p_new = std::min(w_p_new, credits_pw * line_gb / l_pw_new);
+    double r_p_new = wl.p2m_read_offered_gbps;
+    if (r_p_new > 0)
+      r_p_new = std::min(r_p_new, credits_pr * line_gb / (c.p2m_read_ns + qd_read));
+
+    // Damped update with decaying gain so the fixed point always settles.
+    const double damp = std::max(0.03, 0.4 * std::pow(0.985, p.iterations));
+    const double dl = std::abs(l_read_new - l_read) + std::abs(l_pw_new - l_pw);
+    const double dr = std::abs(r_c_new - r_c) + std::abs(w_p_new - w_p) +
+                      std::abs(r_p_new - r_p);
+    l_read += damp * (l_read_new - l_read);
+    l_pw += damp * (l_pw_new - l_pw);
+    r_c += damp * (r_c_new - r_c);
+    w_p += damp * (w_p_new - w_p);
+    r_p += damp * (r_p_new - r_p);
+
+    p.row_miss_ratio = miss;
+    p.o_rpq = o_rpq;
+    if (dl < 0.25 && dr < 0.05) {
+      p.converged = true;
+      break;
+    }
+  }
+
+  p.c2m_read_latency_ns = l_read;
+  p.c2m_gbps = r_c;
+  p.c2m_write_gbps = wl.c2m_writes ? r_c : 0.0;
+  p.p2m_write_latency_ns = l_pw;
+  p.p2m_write_gbps = w_p;
+  p.p2m_read_gbps = r_p;
+  p.total_mem_gbps = r_c + p.c2m_write_gbps + w_p + r_p;
+  return p;
+}
+
+}  // namespace
+
+Prediction predict(const core::HostConfig& host, const PredictorWorkload& wl,
+                   const Constants& constants) {
+  Prediction colo = solve(host, wl, constants);
+
+  // Isolated baselines for degradation / regime classification.
+  PredictorWorkload only_c2m = wl;
+  only_c2m.p2m_write_offered_gbps = 0;
+  only_c2m.p2m_read_offered_gbps = 0;
+  PredictorWorkload only_p2m = wl;
+  only_p2m.c2m_cores = 0;
+
+  if (wl.c2m_cores > 0) {
+    const Prediction iso = solve(host, only_c2m, constants);
+    if (colo.c2m_gbps > 0) colo.c2m_degradation = iso.c2m_gbps / colo.c2m_gbps;
+  }
+  if (wl.p2m_write_offered_gbps + wl.p2m_read_offered_gbps > 0) {
+    const Prediction iso = solve(host, only_p2m, constants);
+    const double iso_p2m = iso.p2m_write_gbps + iso.p2m_read_gbps;
+    const double colo_p2m = colo.p2m_write_gbps + colo.p2m_read_gbps;
+    if (colo_p2m > 0) colo.p2m_degradation = iso_p2m / colo_p2m;
+  }
+  colo.regime = core::classify_regime(colo.c2m_degradation, colo.p2m_degradation);
+  return colo;
+}
+
+}  // namespace hostnet::analytic

@@ -1,0 +1,249 @@
+#include "cha/cha.hpp"
+
+#include <cassert>
+
+namespace hostnet::cha {
+
+Cha::Cha(sim::Simulator& sim, const ChaConfig& cfg, mc::MemoryController& mc)
+    : sim_(sim), cfg_(cfg), mc_(mc), ports_(mc.num_channels()) {
+  for (auto& p : ports_) {
+    p.read_tokens = cfg_.read_fwd_window;
+    p.write_tokens = cfg_.write_fwd_window;
+  }
+  if (cfg_.ddio) ddio_.emplace(cfg_.ddio_capacity_bytes, cfg_.ddio_ways);
+}
+
+bool Cha::has_space(mem::Op op, mem::Source source) const {
+  if (op == mem::Op::kRead) return read_tor_used_ < cfg_.read_tor;
+  if (source == mem::Source::kPeripheral)
+    return write_tracker_used_ < cfg_.write_tracker;
+  // CPU writes may not consume the peripheral reserve.
+  const std::uint32_t cpu_cap =
+      cfg_.write_tracker > cfg_.write_tracker_peripheral_reserve
+          ? cfg_.write_tracker - cfg_.write_tracker_peripheral_reserve
+          : 0;
+  return write_tracker_used_ < cpu_cap;
+}
+
+bool Cha::try_submit(mem::Request req) {
+  if (!has_space(req.op, req.source)) return false;
+  req.cha_accepted = sim_.now();
+  if (req.op == mem::Op::kRead) {
+    ++read_tor_used_;
+    start_read(req);
+  } else {
+    ++write_tracker_used_;
+    write_backlog_occ_.add(sim_.now(), +1);
+    update_backpressure();
+    start_write(req);
+  }
+  return true;
+}
+
+void Cha::wait_for_admission(mem::Op op, ChaClient* client, mem::Source source) {
+  auto& q = op == mem::Op::kRead ? read_waiters_
+            : source == mem::Source::kPeripheral ? peripheral_write_waiters_
+                                                 : cpu_write_waiters_;
+  q.push_back(client);
+}
+
+void Cha::record_admission_wait(mem::TrafficClass cls, Tick waited) {
+  admission_wait_ns_[idx(cls)].add(to_ns(waited));
+}
+
+void Cha::start_read(mem::Request req) {
+  stations_[idx(req.cls())].enter(sim_.now());
+  sim_.schedule(cfg_.t_read_proc, [this, req] { route_read(req); });
+}
+
+void Cha::start_write(mem::Request req) {
+  stations_[idx(req.cls())].enter(sim_.now());
+
+  if (req.source == mem::Source::kCpu) {
+    // The C2M-Write domain ends here: the core's credit is replenished as
+    // soon as the CHA acknowledges admission (writes are asynchronous).
+    if (req.completer != nullptr) {
+      const mem::Request original = req;
+      sim_.schedule(cfg_.t_write_ack, [this, original] {
+        original.completer->complete(original, sim_.now());
+      });
+      req.completer = nullptr;
+    }
+  } else if (ddio_) {
+    // DDIO: the DMA write terminates in the LLC. Its credit releases like a
+    // C2M write (at the LLC fill); what reaches memory is the evicted
+    // victim's write-back, if any.
+    const auto outcome = ddio_->write(req.addr, sim_.now());
+    if (req.completer != nullptr) {
+      const mem::Request original = req;
+      sim_.schedule(cfg_.t_write_ack, [this, original] {
+        original.completer->complete(original, sim_.now());
+      });
+      req.completer = nullptr;
+    }
+    if (outcome.hit || !outcome.writeback.has_value()) {
+      if (outcome.hit) ++ddio_hits_;
+      stations_[idx(req.cls())].leave(sim_.now(), req.cha_accepted);
+      free_write_tracker();
+      return;
+    }
+    req.addr = *outcome.writeback;
+  }
+
+  sim_.schedule(cfg_.t_write_proc, [this, req] { route_write(req); });
+}
+
+void Cha::route_read(const mem::Request& req) {
+  const auto coord = mc_.address_map().decode(req.addr);
+  ports_[coord.channel].read_pending.push_back(Transit{req});
+  pump_reads(coord.channel);
+}
+
+void Cha::route_write(const mem::Request& req) {
+  const auto coord = mc_.address_map().decode(req.addr);
+  auto& pending = ports_[coord.channel].write_pending;
+  if (cfg_.peripheral_write_priority && req.source == mem::Source::kPeripheral) {
+    // Peripheral writes bypass the CPU write-back backlog: insert after any
+    // queued peripheral writes but ahead of all CPU ones.
+    auto it = pending.begin();
+    while (it != pending.end() && it->req.source == mem::Source::kPeripheral) ++it;
+    pending.insert(it, Transit{req});
+  } else {
+    pending.push_back(Transit{req});
+  }
+  pump_writes(coord.channel);
+}
+
+void Cha::pump_reads(std::uint32_t ch) {
+  Port& p = ports_[ch];
+  while (p.read_tokens > 0 && !p.read_pending.empty()) {
+    --p.read_tokens;
+    const mem::Request req = p.read_pending.front().req;
+    p.read_pending.pop_front();
+    sim_.schedule(cfg_.t_read_fwd, [this, ch, req] {
+      if (mc_.channel(ch).rpq_has_space()) {
+        admit_read_to_rpq(ch, req);
+      } else {
+        ports_[ch].read_parked.push_back(Transit{req});
+      }
+    });
+  }
+}
+
+void Cha::pump_writes(std::uint32_t ch) {
+  Port& p = ports_[ch];
+  while (p.write_tokens > 0 && !p.write_pending.empty()) {
+    --p.write_tokens;
+    const mem::Request req = p.write_pending.front().req;
+    p.write_pending.pop_front();
+    sim_.schedule(cfg_.t_write_fwd, [this, ch, req] {
+      if (mc_.channel(ch).wpq_has_space()) {
+        admit_write_to_wpq(ch, req);
+      } else {
+        ports_[ch].write_parked.push_back(Transit{req});
+      }
+    });
+  }
+}
+
+void Cha::admit_read_to_rpq(std::uint32_t ch, const mem::Request& req) {
+  ports_[ch].read_tokens++;
+  mc_.channel(ch).enqueue_read(req, mc_.address_map().decode(req.addr));
+  pump_reads(ch);
+}
+
+void Cha::admit_write_to_wpq(std::uint32_t ch, const mem::Request& req) {
+  const Tick now = sim_.now();
+  ports_[ch].write_tokens++;
+  mc_.channel(ch).enqueue_write(req, mc_.address_map().decode(req.addr));
+  ++lines_written_[idx(req.cls())];
+  stations_[idx(req.cls())].leave(now, req.cha_accepted);
+  // WPQ admission ends the P2M-Write domain: replenish the IIO credit.
+  if (req.completer != nullptr) req.completer->complete(req, now);
+  free_write_tracker();
+  pump_writes(ch);
+}
+
+void Cha::on_read_data(const mem::Request& req, Tick now) {
+  ++lines_read_[idx(req.cls())];
+  stations_[idx(req.cls())].leave(now, req.cha_accepted);
+  free_read_tor();
+  const Tick hop = req.source == mem::Source::kCpu ? cfg_.t_return_core : cfg_.t_return_iio;
+  sim_.schedule(hop, [this, req] {
+    if (req.completer != nullptr) req.completer->complete(req, sim_.now());
+  });
+}
+
+void Cha::on_wpq_slot_freed(std::uint32_t channel, Tick /*now*/) {
+  Port& p = ports_[channel];
+  if (!p.write_parked.empty()) {
+    const mem::Request req = p.write_parked.front().req;
+    p.write_parked.pop_front();
+    admit_write_to_wpq(channel, req);
+  }
+}
+
+void Cha::on_rpq_slot_freed(std::uint32_t channel, Tick /*now*/) {
+  Port& p = ports_[channel];
+  if (!p.read_parked.empty()) {
+    const mem::Request req = p.read_parked.front().req;
+    p.read_parked.pop_front();
+    admit_read_to_rpq(channel, req);
+  }
+}
+
+void Cha::free_read_tor() {
+  assert(read_tor_used_ > 0);
+  --read_tor_used_;
+  notify_waiters(mem::Op::kRead);
+}
+
+void Cha::free_write_tracker() {
+  assert(write_tracker_used_ > 0);
+  --write_tracker_used_;
+  write_backlog_occ_.add(sim_.now(), -1);
+  update_backpressure();
+  notify_waiters(mem::Op::kWrite);
+}
+
+void Cha::notify_waiters(mem::Op op) {
+  if (notifying_) return;  // avoid re-entrant notification storms
+  notifying_ = true;
+  if (op == mem::Op::kRead) {
+    while (!read_waiters_.empty() && has_space(op, mem::Source::kCpu)) {
+      ChaClient* c = read_waiters_.front();
+      read_waiters_.pop_front();
+      c->on_cha_admission(op);
+    }
+  } else {
+    // Peripheral write waiters first (they may use the reserve).
+    while (!peripheral_write_waiters_.empty() &&
+           has_space(op, mem::Source::kPeripheral)) {
+      ChaClient* c = peripheral_write_waiters_.front();
+      peripheral_write_waiters_.pop_front();
+      c->on_cha_admission(op);
+    }
+    while (!cpu_write_waiters_.empty() && has_space(op, mem::Source::kCpu)) {
+      ChaClient* c = cpu_write_waiters_.front();
+      cpu_write_waiters_.pop_front();
+      c->on_cha_admission(op);
+    }
+  }
+  notifying_ = false;
+}
+
+double Cha::mean_admission_wait_ns(mem::TrafficClass cls) const {
+  return admission_wait_ns_[idx(cls)].mean();
+}
+
+void Cha::reset_counters(Tick now) {
+  for (auto& s : stations_) s.reset(now);
+  for (auto& a : admission_wait_ns_) a.reset();
+  lines_read_ = {};
+  lines_written_ = {};
+  write_backlog_occ_.reset(now);
+  wpq_backpressure_.reset(now);
+  ddio_hits_ = 0;
+}
+
+}  // namespace hostnet::cha

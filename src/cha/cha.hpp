@@ -1,0 +1,180 @@
+// The Caching and Home Agent (CHA).
+//
+// The CHA abstracts the LLC and memory away from the rest of the host
+// network while maintaining coherence (paper section 3). We model it as a
+// single logical agent (the paper's own simplification) with:
+//
+//  * a read tracker (TOR) -- an entry is held from admission until the read
+//    data returns from the memory controller;
+//  * a write tracker -- an entry is held from admission until the write is
+//    admitted into the MC's WPQ. When the WPQ backpressures, writes back up
+//    here: this backlog penalizes the P2M-Write domain (which spans the MC)
+//    but NOT the C2M-Write domain (which ends at the CHA) -- the asymmetry
+//    at the heart of the red regime (section 5.2);
+//  * admission control: when a tracker pool is exhausted, sources block
+//    *before* the CHA and their admission delay is measured -- the paper's
+//    "backpressure from CHA" phase;
+//  * per-channel forwarding ports with a bounded in-flight window, modeling
+//    the finite bandwidth of the CHA->MC hop (this is what paces WPQ refill
+//    and yields read/write channel sharing under write overload);
+//  * optionally DDIO: inbound DMA writes allocate in the LLC's DDIO ways
+//    and the evicted victim's write-back is what reaches memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/ddio.hpp"
+#include "common/stats.hpp"
+#include "counters/station.hpp"
+#include "mc/memory_controller.hpp"
+#include "mem/request.hpp"
+#include "sim/simulator.hpp"
+
+namespace hostnet::cha {
+
+struct ChaConfig {
+  std::uint32_t read_tor = 320;        ///< reads in flight CHA<->DRAM
+  std::uint32_t write_tracker = 192;   ///< writes awaiting WPQ admission
+  std::uint32_t read_fwd_window = 16;  ///< per-channel CHA->MC reads in flight
+  std::uint32_t write_fwd_window = 1;  ///< per-channel CHA->MC writes in flight
+  Tick t_read_proc = ns(6);    ///< CHA pipeline (lookup, route) before forward
+  Tick t_write_proc = ns(6);
+  Tick t_read_fwd = ns(4);     ///< CHA->MC hop for one read
+  Tick t_write_fwd = ns(5);    ///< CHA->MC hop for one write
+  Tick t_write_ack = ns(4);    ///< CHA admission ack (ends the C2M-Write domain)
+  Tick t_return_core = ns(22); ///< data return CHA->core (fills caches, frees LFB)
+  Tick t_return_iio = ns(80);  ///< data return CHA->IIO
+  bool ddio = false;
+  std::uint64_t ddio_capacity_bytes = 4ull << 20;
+  std::uint32_t ddio_ways = 2;
+
+  // -- isolation extensions (paper section 7 future work) --------------------
+  /// Forward peripheral writes to the MC ahead of CPU write-backs, so WPQ
+  /// backpressure no longer queues P2M writes behind the C2M backlog.
+  bool peripheral_write_priority = false;
+  /// Tracker entries only peripheral writes may use (CPU writes are capped
+  /// at write_tracker - reserve), keeping admission open for P2M under red-
+  /// regime backlog.
+  std::uint32_t write_tracker_peripheral_reserve = 0;
+};
+
+/// A source (core or IIO) blocked on CHA admission. `on_cha_admission`
+/// should retry exactly one submission; return true iff a slot was consumed.
+class ChaClient {
+ public:
+  virtual ~ChaClient() = default;
+  virtual bool on_cha_admission(mem::Op op) = 0;
+};
+
+class Cha final : public mc::ChannelListener {
+ public:
+  Cha(sim::Simulator& sim, const ChaConfig& cfg, mc::MemoryController& mc);
+
+  /// Admit a request at its source. Returns false when the tracker pool is
+  /// exhausted; the source should wait_for_admission() and retry. On
+  /// success the CHA owns the request's journey to memory and back.
+  bool try_submit(mem::Request req);
+
+  /// Register `client` to be woken (FIFO order) when admission for `op`
+  /// frees up. A client is notified at most once per registration.
+  /// `source` matters for writes when a peripheral reserve is configured.
+  void wait_for_admission(mem::Op op, ChaClient* client,
+                          mem::Source source = mem::Source::kCpu);
+
+  /// Called by sources on every *accepted* request with how long it was
+  /// blocked on admission (0 for immediate admission). Feeds the paper's
+  /// "CHA admission delay" measurement (section 6.2).
+  void record_admission_wait(mem::TrafficClass cls, Tick waited);
+
+  // -- mc::ChannelListener --------------------------------------------------
+  void on_read_data(const mem::Request& req, Tick now) override;
+  void on_wpq_slot_freed(std::uint32_t channel, Tick now) override;
+  void on_rpq_slot_freed(std::uint32_t channel, Tick now) override;
+
+  // -- measurement -----------------------------------------------------------
+  /// Residency stations: reads = CHA admission -> data back at CHA
+  /// ("CHA->DRAM read latency"); writes = CHA admission -> WPQ admission
+  /// ("CHA->MC write latency").
+  counters::LatencyStation& station(mem::TrafficClass cls) { return stations_[idx(cls)]; }
+
+  /// Mean admission wait in ns across accepted requests of `cls` (includes
+  /// zero waits).
+  double mean_admission_wait_ns(mem::TrafficClass cls) const;
+
+  std::uint64_t lines_read(mem::TrafficClass cls) const { return lines_read_[idx(cls)]; }
+  std::uint64_t lines_written(mem::TrafficClass cls) const { return lines_written_[idx(cls)]; }
+  std::uint64_t ddio_hits() const { return ddio_hits_; }
+  std::uint32_t read_tor_used() const { return read_tor_used_; }
+  std::uint32_t write_tracker_used() const { return write_tracker_used_; }
+  TimeWeighted& write_backlog_occupancy() { return write_backlog_occ_; }
+  /// Fraction of time writes are backpressured at the CHA (more writes
+  /// resident than the forwarding pipeline naturally holds) -- the
+  /// measured analogue of the paper's P_fill^WPQ input.
+  double wpq_blocked_fraction(Tick now) {
+    return wpq_backpressure_.average(now);
+  }
+
+  void reset_counters(Tick now);
+
+ private:
+  struct Transit {
+    mem::Request req;
+  };
+  struct Port {
+    std::deque<Transit> read_pending;
+    std::deque<Transit> write_pending;
+    std::deque<Transit> read_parked;   ///< at MC boundary, RPQ full (token held)
+    std::deque<Transit> write_parked;  ///< at MC boundary, WPQ full (token held)
+    std::uint32_t read_tokens = 0;
+    std::uint32_t write_tokens = 0;
+  };
+
+  static constexpr std::size_t idx(mem::TrafficClass c) { return static_cast<std::size_t>(c); }
+
+  void start_read(mem::Request req);
+  void start_write(mem::Request req);
+  void route_read(const mem::Request& req);
+  void route_write(const mem::Request& req);
+  void pump_reads(std::uint32_t ch);
+  void pump_writes(std::uint32_t ch);
+  void admit_read_to_rpq(std::uint32_t ch, const mem::Request& req);
+  void admit_write_to_wpq(std::uint32_t ch, const mem::Request& req);
+  void free_read_tor();
+  void free_write_tracker();
+  void notify_waiters(mem::Op op);
+  bool has_space(mem::Op op, mem::Source source) const;
+
+  sim::Simulator& sim_;
+  ChaConfig cfg_;
+  mc::MemoryController& mc_;
+  std::optional<cache::DdioCache> ddio_;
+
+  std::vector<Port> ports_;
+  std::uint32_t read_tor_used_ = 0;
+  std::uint32_t write_tracker_used_ = 0;
+  std::deque<ChaClient*> read_waiters_;
+  std::deque<ChaClient*> cpu_write_waiters_;
+  std::deque<ChaClient*> peripheral_write_waiters_;
+  bool notifying_ = false;
+
+  std::array<counters::LatencyStation, mem::kNumTrafficClasses> stations_{};
+  std::array<MeanAccumulator, mem::kNumTrafficClasses> admission_wait_ns_{};
+  std::array<std::uint64_t, mem::kNumTrafficClasses> lines_read_{};
+  std::array<std::uint64_t, mem::kNumTrafficClasses> lines_written_{};
+  TimeWeighted write_backlog_occ_;  ///< N_waiting in the analytical formula
+  TimeWeighted wpq_backpressure_;   ///< 0/1: writes waiting beyond the pipeline
+  std::uint64_t ddio_hits_ = 0;
+
+  void update_backpressure() {
+    wpq_backpressure_.set(
+        sim_.now(),
+        write_backlog_occ_.level() > 3 * static_cast<std::int64_t>(ports_.size()) ? 1 : 0);
+  }
+};
+
+}  // namespace hostnet::cha

@@ -1,0 +1,67 @@
+// Minimal aligned-table printer for bench binaries.
+//
+// Every bench prints the rows/series of one paper table or figure; this
+// keeps the output format consistent and diffable.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hostnet {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  static std::string pct(double v, int precision = 1) { return num(v, precision) + "%"; }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+    for (const auto& r : rows_)
+      for (std::size_t i = 0; i < r.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], r[i].size());
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string{};
+        os << (i ? "  " : "") << std::left << std::setw(static_cast<int>(width[i])) << c;
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      if (i) rule += "  ";
+      rule += std::string(width[i], '-');
+    }
+    os << rule << '\n';
+    for (const auto& r : rows_) emit(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a figure/section banner so bench output maps 1:1 to the paper.
+inline void banner(const std::string& title, std::ostream& os = std::cout) {
+  os << '\n' << "== " << title << " ==\n";
+}
+
+}  // namespace hostnet

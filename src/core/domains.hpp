@@ -1,0 +1,83 @@
+// Domain-by-domain credit-based flow control -- the paper's core abstraction
+// (section 4).
+//
+// The host network decomposes into domains (sub-networks), each with an
+// independent credit-based flow control mechanism: the sender consumes one
+// credit per request and the credit is replenished when the domain's
+// receiver acknowledges it. A domain with C credits (in cachelines) and
+// latency L can carry at most
+//
+//     T  <=  C x 64 / L
+//
+// bytes per unit time. A transfer's end-to-end throughput is the minimum
+// over the domains its datapath traverses. The four bottleneck domains:
+//
+//   C2M-Read  : LFB -> DRAM     (credits = LFB, 10-12;  ~70 ns unloaded)
+//   C2M-Write : LFB -> CHA      (credits = LFB;         ~10 ns unloaded)
+//   P2M-Read  : IIO -> DRAM     (credits = IIO rd, >164)
+//   P2M-Write : IIO -> MC WPQ   (credits = IIO wr, ~92; ~300 ns unloaded)
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "mem/request.hpp"
+
+namespace hostnet::core {
+
+using Domain = mem::TrafficClass;  // one bottleneck domain per traffic class
+
+/// Static description of a domain's flow-control resources.
+struct DomainSpec {
+  Domain domain = Domain::kC2MRead;
+  double credits = 0;              ///< cachelines the sender may keep in flight
+  double unloaded_latency_ns = 0;  ///< latency with no contention
+  bool includes_dram = false;      ///< does the domain span DRAM execution?
+};
+
+/// Measured state of a domain during an experiment window.
+struct DomainObservation {
+  double credits_in_use = 0;   ///< average occupancy of the credit pool
+  double max_credits_used = 0;
+  double latency_ns = 0;       ///< average credit-hold time
+  double throughput_gbps = 0;  ///< achieved
+};
+
+/// The domain throughput law T <= C*64/L (GB/s for latency in ns).
+constexpr double max_throughput_gbps(double credits, double latency_ns) {
+  if (latency_ns <= 0) return 0.0;
+  return credits * static_cast<double>(kCachelineBytes) / latency_ns;
+}
+
+/// Credits needed to sustain `gbps` at latency `latency_ns`.
+constexpr double credits_needed(double gbps, double latency_ns) {
+  return gbps * latency_ns / static_cast<double>(kCachelineBytes);
+}
+
+/// Contention regimes as characterized in section 2.2.
+enum class Regime {
+  kNone,  ///< neither side degrades materially
+  kBlue,  ///< C2M degrades, P2M does not (can occur far below BW saturation)
+  kRed,   ///< both degrade (memory bandwidth saturated; write backpressure)
+};
+
+/// Classify from isolated/colocated throughput ratios (>= 1).
+inline Regime classify_regime(double c2m_degradation, double p2m_degradation,
+                              double threshold = 1.07) {
+  const bool c2m = c2m_degradation >= threshold;
+  const bool p2m = p2m_degradation >= threshold;
+  if (c2m && p2m) return Regime::kRed;
+  if (c2m) return Regime::kBlue;
+  return Regime::kNone;
+}
+
+inline std::string to_string(Regime r) {
+  switch (r) {
+    case Regime::kNone: return "none";
+    case Regime::kBlue: return "blue";
+    case Regime::kRed: return "red";
+  }
+  return "?";
+}
+
+}  // namespace hostnet::core

@@ -1,0 +1,72 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+
+namespace hostnet::core {
+
+RunOptions default_run_options() {
+  RunOptions o;
+  if (const char* e = std::getenv("HOSTNET_MEASURE_US")) o.measure = us(std::atof(e));
+  if (const char* e = std::getenv("HOSTNET_WARMUP_US")) o.warmup = us(std::atof(e));
+  return o;
+}
+
+namespace {
+
+void add_c2m(HostSystem& host, const C2MSpec& spec) {
+  for (std::uint32_t i = 0; i < spec.cores; ++i) {
+    cpu::CoreWorkload wl = spec.workload;
+    if (spec.per_core_region) wl.region.base += static_cast<std::uint64_t>(i) * spec.region_stride;
+    host.add_core(wl);
+  }
+}
+
+bool episodic(const C2MSpec& spec) {
+  return spec.workload.episode_reads + spec.workload.episode_writes > 0;
+}
+
+}  // namespace
+
+RunOutcome run_workloads(const HostConfig& hc, const std::optional<C2MSpec>& c2m,
+                         const std::optional<P2MSpec>& p2m, const RunOptions& opt) {
+  HostSystem host(hc, opt.seed);
+  if (c2m) add_c2m(host, *c2m);
+  if (p2m && p2m->storage) host.add_storage(*p2m->storage);
+  host.run(opt.warmup, opt.measure);
+
+  RunOutcome out;
+  out.metrics = host.collect();
+  if (c2m)
+    out.c2m_score = episodic(*c2m) ? out.metrics.queries_per_sec : out.metrics.c2m_app_gbps;
+  if (p2m) out.p2m_score = out.metrics.p2m_dev_gbps;
+  return out;
+}
+
+ColocationOutcome run_colocation(const HostConfig& host, const C2MSpec& c2m,
+                                 const P2MSpec& p2m, const RunOptions& opt) {
+  ColocationOutcome o;
+  o.iso_c2m = run_workloads(host, c2m, std::nullopt, opt);
+  o.iso_p2m = run_workloads(host, std::nullopt, p2m, opt);
+  o.colo = run_workloads(host, c2m, p2m, opt);
+  return o;
+}
+
+std::vector<ColocationOutcome> sweep_c2m_cores(const HostConfig& host, C2MSpec c2m,
+                                               const P2MSpec& p2m,
+                                               const std::vector<std::uint32_t>& cores,
+                                               const RunOptions& opt) {
+  const RunOutcome iso_p2m = run_workloads(host, std::nullopt, p2m, opt);
+  std::vector<ColocationOutcome> out;
+  out.reserve(cores.size());
+  for (std::uint32_t n : cores) {
+    c2m.cores = n;
+    ColocationOutcome o;
+    o.iso_c2m = run_workloads(host, c2m, std::nullopt, opt);
+    o.iso_p2m = iso_p2m;
+    o.colo = run_workloads(host, c2m, p2m, opt);
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace hostnet::core

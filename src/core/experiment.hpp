@@ -1,0 +1,84 @@
+// Colocation experiment harness: run a C2M workload and a P2M workload in
+// isolation and colocated, and report per-side performance degradation --
+// the measurement protocol behind every figure in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/domains.hpp"
+#include "core/host_system.hpp"
+#include "core/metrics.hpp"
+#include "core/presets.hpp"
+#include "cpu/core.hpp"
+#include "iio/storage_device.hpp"
+
+namespace hostnet::core {
+
+struct C2MSpec {
+  std::string name = "c2m";
+  cpu::CoreWorkload workload{};
+  std::uint32_t cores = 1;
+  /// When true, core i's region is workload.region shifted by i strides
+  /// (independent address spaces, e.g. Redis shards / STREAM buffers);
+  /// when false all cores share workload.region (e.g. one GAPBS graph).
+  bool per_core_region = true;
+  std::uint64_t region_stride = 1ull << 30;
+  /// Score measuring app performance: queries/s for episodic workloads,
+  /// read GB/s otherwise (chosen automatically).
+};
+
+struct P2MSpec {
+  std::string name = "p2m";
+  std::optional<iio::StorageConfig> storage{};
+};
+
+struct RunOptions {
+  Tick warmup = us(400);
+  Tick measure = us(1500);
+  std::uint64_t seed = 1;
+};
+
+/// Reads the default measurement window, honoring HOSTNET_MEASURE_US and
+/// HOSTNET_WARMUP_US environment overrides (useful to shorten CI runs).
+RunOptions default_run_options();
+
+struct RunOutcome {
+  Metrics metrics{};
+  double c2m_score = 0;  ///< queries/s (episodic) or core read GB/s
+  double p2m_score = 0;  ///< device DMA GB/s
+};
+
+/// Build a host with the given workloads and run one measurement window.
+RunOutcome run_workloads(const HostConfig& host, const std::optional<C2MSpec>& c2m,
+                         const std::optional<P2MSpec>& p2m, const RunOptions& opt);
+
+struct ColocationOutcome {
+  RunOutcome iso_c2m;
+  RunOutcome iso_p2m;
+  RunOutcome colo;
+
+  /// Ratio of isolated to colocated performance (>= ~1; higher = worse).
+  double c2m_degradation() const {
+    return colo.c2m_score > 0 ? iso_c2m.c2m_score / colo.c2m_score : 0;
+  }
+  double p2m_degradation() const {
+    return colo.p2m_score > 0 ? iso_p2m.p2m_score / colo.p2m_score : 0;
+  }
+  Regime regime() const { return classify_regime(c2m_degradation(), p2m_degradation()); }
+};
+
+/// The full isolation/colocation protocol for one configuration point.
+ColocationOutcome run_colocation(const HostConfig& host, const C2MSpec& c2m,
+                                 const P2MSpec& p2m, const RunOptions& opt);
+
+/// Sweep the number of C2M cores (the x-axis of most paper figures).
+/// iso_p2m is measured once and shared across points.
+std::vector<ColocationOutcome> sweep_c2m_cores(const HostConfig& host, C2MSpec c2m,
+                                               const P2MSpec& p2m,
+                                               const std::vector<std::uint32_t>& cores,
+                                               const RunOptions& opt);
+
+}  // namespace hostnet::core

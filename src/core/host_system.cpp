@@ -1,0 +1,223 @@
+#include "core/host_system.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hostnet::core {
+
+HostSystem::HostSystem(const HostConfig& cfg, std::uint64_t seed) : cfg_(cfg), seed_(seed) {
+  const std::string err = cfg_.validate();
+  if (!err.empty()) throw std::invalid_argument("HostConfig: " + err);
+  mc_ = std::make_unique<mc::MemoryController>(sim_, cfg_.mc, cfg_.make_address_map(),
+                                               nullptr);
+  cha_ = std::make_unique<cha::Cha>(sim_, cfg_.cha, *mc_);
+  mc_->set_listener(cha_.get());
+  iios_.push_back(std::make_unique<iio::Iio>(sim_, *cha_, cfg_.iio, 0));
+}
+
+std::size_t HostSystem::add_iio_stack(const iio::IioConfig& icfg) {
+  assert(!started_ && "add components before run()");
+  iios_.push_back(std::make_unique<iio::Iio>(
+      sim_, *cha_, icfg, static_cast<std::uint16_t>(iios_.size())));
+  return iios_.size() - 1;
+}
+
+cpu::Core& HostSystem::add_core(const cpu::CoreWorkload& wl) {
+  assert(!started_ && "add components before run()");
+  const auto id = static_cast<std::uint16_t>(cores_.size());
+  std::uint64_t sm = seed_ + 0x1000 + id;
+  cores_.push_back(
+      std::make_unique<cpu::Core>(sim_, *cha_, cfg_.core, wl, id, splitmix64(sm)));
+  return *cores_.back();
+}
+
+iio::StorageDevice& HostSystem::add_storage(const iio::StorageConfig& scfg,
+                                             std::size_t stack) {
+  assert(!started_ && "add components before run()");
+  assert(stack < iios_.size());
+  storage_.push_back(std::make_unique<iio::StorageDevice>(sim_, *iios_[stack], scfg));
+  return *storage_.back();
+}
+
+void HostSystem::attach(std::function<void()> start, std::function<void(Tick)> reset) {
+  assert(!started_ && "attach components before run()");
+  if (start) external_starts_.push_back(std::move(start));
+  if (reset) external_resets_.push_back(std::move(reset));
+}
+
+void HostSystem::run(Tick warmup, Tick measure) {
+  if (!started_) {
+    started_ = true;
+    for (auto& c : cores_) c->start();
+    for (auto& d : storage_) d->start();
+    for (auto& f : external_starts_) f();
+  }
+  sim_.run_until(sim_.now() + warmup);
+  reset_counters();
+  sim_.run_until(sim_.now() + measure);
+}
+
+void HostSystem::run_more(Tick extra) { sim_.run_until(sim_.now() + extra); }
+
+void HostSystem::reset_counters() {
+  const Tick now = sim_.now();
+  measure_start_ = now;
+  mc_->reset_counters(now);
+  cha_->reset_counters(now);
+  for (auto& i : iios_) i->reset_counters(now);
+  for (auto& c : cores_) c->reset_counters(now);
+  for (auto& d : storage_) d->reset_counters();
+  for (auto& f : external_resets_) f(now);
+}
+
+Metrics HostSystem::collect() {
+  const Tick now = sim_.now();
+  Metrics m;
+  m.window_ns = to_ns(now - measure_start_);
+  m.channels = mc_->num_channels();
+  m.c2m_cores = static_cast<std::uint32_t>(cores_.size());
+  const Tick window = now - measure_start_;
+  if (window <= 0) return m;
+
+  // Memory bandwidth by class, from CHA line counts (DRAM-serviced).
+  for (int c = 0; c < mem::kNumTrafficClasses; ++c) {
+    const auto cls = static_cast<mem::TrafficClass>(c);
+    const std::uint64_t bytes =
+        (cha_->lines_read(cls) + cha_->lines_written(cls)) * kCachelineBytes;
+    m.mem_gbps[static_cast<std::size_t>(c)] = gb_per_s(bytes, window);
+  }
+
+  // LFB (C2M-Read / combined) domain observation across cores.
+  double lat_sum = 0, lit_sum = 0, occ_sum = 0;
+  std::uint64_t completions = 0;
+  std::int64_t max_occ = 0;
+  double wlat_sum = 0;
+  std::uint64_t wcomp = 0;
+  double wocc = 0;
+  for (auto& c : cores_) {
+    auto& s = c->lfb_station();
+    if (s.completions() > 0) {
+      lat_sum += s.mean_latency_ns() * static_cast<double>(s.completions());
+      lit_sum += s.littles_latency_ns(now) * static_cast<double>(s.completions());
+      completions += s.completions();
+    }
+    occ_sum += s.avg_occupancy(now);
+    max_occ = std::max(max_occ, s.max_occupancy());
+    auto& w = c->write_station();
+    if (w.completions() > 0) {
+      wlat_sum += w.mean_latency_ns() * static_cast<double>(w.completions());
+      wcomp += w.completions();
+    }
+    wocc += w.avg_occupancy(now);
+    m.c2m_lines_read += c->lines_read();
+    m.c2m_lines_written += c->lines_written();
+  }
+  if (completions > 0) {
+    m.lfb_latency_ns = lat_sum / static_cast<double>(completions);
+    m.lfb_littles_latency_ns = lit_sum / static_cast<double>(completions);
+  }
+  m.lfb_avg_occupancy = cores_.empty() ? 0 : occ_sum / static_cast<double>(cores_.size());
+  m.lfb_max_occupancy = max_occ;
+  m.c2m_read.credits_in_use = m.lfb_avg_occupancy;
+  m.c2m_read.max_credits_used = static_cast<double>(max_occ);
+  m.c2m_read.latency_ns = m.lfb_latency_ns;
+  m.c2m_read.throughput_gbps =
+      gb_per_s(m.c2m_lines_read * kCachelineBytes, window);
+  m.c2m_app_gbps = m.c2m_read.throughput_gbps;
+  if (wcomp > 0) m.c2m_write.latency_ns = wlat_sum / static_cast<double>(wcomp);
+  m.c2m_write.credits_in_use = wocc;
+  m.c2m_write.throughput_gbps = gb_per_s(m.c2m_lines_written * kCachelineBytes, window);
+
+  // Queries (episodic workloads).
+  std::uint64_t queries = 0;
+  for (auto& c : cores_) queries += c->queries();
+  m.queries_per_sec = static_cast<double>(queries) / (m.window_ns * 1e-9);
+
+  // IIO domain observations (aggregated across stacks; latency weighted by
+  // completions, occupancies summed).
+  {
+    double wlat = 0, rlat = 0;
+    std::uint64_t wn = 0, rn = 0;
+    for (auto& i : iios_) {
+      auto& w = i->write_station();
+      m.p2m_write.credits_in_use += w.avg_occupancy(now);
+      m.p2m_write.max_credits_used =
+          std::max(m.p2m_write.max_credits_used, static_cast<double>(w.max_occupancy()));
+      wlat += w.mean_latency_ns() * static_cast<double>(w.completions());
+      wn += w.completions();
+      auto& r = i->read_station();
+      m.p2m_read.credits_in_use += r.avg_occupancy(now);
+      m.p2m_read.max_credits_used =
+          std::max(m.p2m_read.max_credits_used, static_cast<double>(r.max_occupancy()));
+      rlat += r.mean_latency_ns() * static_cast<double>(r.completions());
+      rn += r.completions();
+    }
+    if (wn > 0) m.p2m_write.latency_ns = wlat / static_cast<double>(wn);
+    if (rn > 0) m.p2m_read.latency_ns = rlat / static_cast<double>(rn);
+    m.p2m_write.throughput_gbps = gb_per_s(wn * kCachelineBytes, window);
+    m.p2m_read.throughput_gbps = gb_per_s(rn * kCachelineBytes, window);
+  }
+
+  // CHA stations.
+  m.cha_dram_read_latency_c2m_ns =
+      cha_->station(mem::TrafficClass::kC2MRead).mean_latency_ns();
+  m.cha_dram_read_latency_p2m_ns =
+      cha_->station(mem::TrafficClass::kP2MRead).mean_latency_ns();
+  {
+    auto& cw = cha_->station(mem::TrafficClass::kC2MWrite);
+    auto& pw = cha_->station(mem::TrafficClass::kP2MWrite);
+    const std::uint64_t n = cw.completions() + pw.completions();
+    if (n > 0)
+      m.cha_mc_write_latency_ns =
+          (cw.mean_latency_ns() * static_cast<double>(cw.completions()) +
+           pw.mean_latency_ns() * static_cast<double>(pw.completions())) /
+          static_cast<double>(n);
+  }
+  m.p2m_reads_in_flight_at_cha =
+      cha_->station(mem::TrafficClass::kP2MRead).avg_occupancy(now);
+  m.p2m_reads_in_flight_at_cha_max =
+      cha_->station(mem::TrafficClass::kP2MRead).max_occupancy();
+  m.n_waiting = cha_->write_backlog_occupancy().average(now);
+  m.wpq_full_fraction = cha_->wpq_blocked_fraction(now);
+  for (int c = 0; c < mem::kNumTrafficClasses; ++c)
+    m.cha_admission_wait_ns[static_cast<std::size_t>(c)] =
+        cha_->mean_admission_wait_ns(static_cast<mem::TrafficClass>(c));
+
+  // MC aggregates across channels.
+  const std::uint32_t nch = mc_->num_channels();
+  std::uint64_t hit_r = 0, hit_w = 0;
+  for (std::uint32_t i = 0; i < nch; ++i) {
+    auto& cc = mc_->channel(i).counters();
+    m.avg_rpq_occupancy += cc.rpq_occ.average(now) / nch;
+    m.avg_wpq_occupancy += cc.wpq_occ.average(now) / nch;
+    m.mc_lines_read += cc.lines_read;
+    m.mc_lines_written += cc.lines_written;
+    m.mc_switch_cycles += cc.switch_cycles;
+    m.mc_act_read += cc.act_read;
+    m.mc_act_write += cc.act_write;
+    m.mc_pre_conflict_read += cc.pre_conflict_read;
+    m.mc_pre_conflict_write += cc.pre_conflict_write;
+    hit_r += cc.row_hit_read;
+    hit_w += cc.row_hit_write;
+    for (double v : cc.bank_deviation.values()) m.bank_deviation.add(v);
+  }
+  if (m.mc_act_read + hit_r > 0)
+    m.row_miss_ratio_read =
+        static_cast<double>(m.mc_act_read) / static_cast<double>(m.mc_act_read + hit_r);
+  if (m.mc_act_write + hit_w > 0)
+    m.row_miss_ratio_write =
+        static_cast<double>(m.mc_act_write) / static_cast<double>(m.mc_act_write + hit_w);
+
+  // Devices.
+  std::uint64_t dev_bytes = 0, dev_reqs = 0;
+  for (auto& d : storage_) {
+    dev_bytes += d->bytes_transferred();
+    dev_reqs += d->requests_completed();
+  }
+  m.p2m_dev_gbps = gb_per_s(dev_bytes, window);
+  m.p2m_iops = static_cast<double>(dev_reqs) / (m.window_ns * 1e-9);
+
+  return m;
+}
+
+}  // namespace hostnet::core

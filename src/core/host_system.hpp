@@ -1,0 +1,92 @@
+// HostSystem: wires the full host network together -- cores (LFB), CHA,
+// memory controller + DRAM, IIO + PCIe devices -- runs an experiment
+// window, and collects Metrics.
+//
+// This is the main entry point of the library:
+//
+//   auto cfg = core::cascade_lake();
+//   core::HostSystem host(cfg, /*seed=*/42);
+//   host.add_core(workloads::c2m_read(region));
+//   host.add_storage(workloads::fio_sequential_read(cfg));
+//   host.run(ms(0.5), ms(2));
+//   core::Metrics m = host.collect();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cha/cha.hpp"
+#include "core/metrics.hpp"
+#include "core/presets.hpp"
+#include "cpu/core.hpp"
+#include "iio/iio.hpp"
+#include "iio/storage_device.hpp"
+#include "mc/memory_controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace hostnet::core {
+
+class HostSystem {
+ public:
+  explicit HostSystem(const HostConfig& cfg, std::uint64_t seed = 1);
+
+  HostSystem(const HostSystem&) = delete;
+  HostSystem& operator=(const HostSystem&) = delete;
+
+  /// Add a core running `wl`. Returns the core for metric inspection.
+  cpu::Core& add_core(const cpu::CoreWorkload& wl);
+
+  /// Add a storage device generating P2M traffic, attached to IIO stack
+  /// `stack` (0 = the default stack).
+  iio::StorageDevice& add_storage(const iio::StorageConfig& scfg, std::size_t stack = 0);
+
+  /// Add another IIO stack (its own credit pools, sharing the CHA), as on
+  /// multi-stack servers; returns its index for add_storage(). Must be
+  /// called before run().
+  std::size_t add_iio_stack(const iio::IioConfig& cfg);
+
+  /// Register an externally-owned component (e.g. a NIC model from the net
+  /// library): `start` runs when the simulation starts, `reset` on every
+  /// counter reset (with the reset time).
+  void attach(std::function<void()> start, std::function<void(Tick)> reset);
+
+  /// Run `warmup` of simulated time, reset all counters, then run `measure`.
+  void run(Tick warmup, Tick measure);
+
+  /// Continue the simulation for `extra` more time (counters keep running).
+  void run_more(Tick extra);
+
+  /// Reset every counter now (starts a fresh measurement window).
+  void reset_counters();
+
+  /// Snapshot all metrics for the window [measure_start, now].
+  /// (Non-const: occupancy integrals are brought up to `now`.)
+  Metrics collect();
+
+  const HostConfig& config() const { return cfg_; }
+  sim::Simulator& sim() { return sim_; }
+  cha::Cha& cha() { return *cha_; }
+  mc::MemoryController& mc() { return *mc_; }
+  iio::Iio& iio(std::size_t stack = 0) { return *iios_[stack]; }
+  std::size_t iio_stacks() const { return iios_.size(); }
+  std::vector<std::unique_ptr<cpu::Core>>& cores() { return cores_; }
+  std::vector<std::unique_ptr<iio::StorageDevice>>& storage() { return storage_; }
+
+ private:
+  HostConfig cfg_;
+  std::uint64_t seed_;
+  sim::Simulator sim_;
+  std::unique_ptr<mc::MemoryController> mc_;
+  std::unique_ptr<cha::Cha> cha_;
+  std::vector<std::unique_ptr<iio::Iio>> iios_;
+  std::vector<std::unique_ptr<cpu::Core>> cores_;
+  std::vector<std::unique_ptr<iio::StorageDevice>> storage_;
+  std::vector<std::function<void()>> external_starts_;
+  std::vector<std::function<void(Tick)>> external_resets_;
+  bool started_ = false;
+  Tick measure_start_ = 0;
+};
+
+}  // namespace hostnet::core

@@ -1,0 +1,202 @@
+#include "cpu/core.hpp"
+
+#include <cassert>
+
+#include "sim/trace.hpp"
+
+namespace hostnet::cpu {
+
+Core::Core(sim::Simulator& sim, cha::Cha& cha, const CoreConfig& cfg,
+           const CoreWorkload& wl, std::uint16_t id, std::uint64_t seed)
+    : sim_(sim), cha_(cha), cfg_(cfg), wl_(wl), id_(id), rng_(seed) {}
+
+std::uint32_t Core::lfb_capacity() const {
+  // The streaming prefetcher only helps predictable (sequential) patterns;
+  // the paper found <5% effect for the random-access workloads.
+  const bool seq = wl_.pattern == CoreWorkload::Pattern::kSequential;
+  return cfg_.lfb_entries + (seq ? cfg_.prefetch_extra : 0);
+}
+
+void Core::start() {
+  if (episodic()) {
+    begin_episode_after_compute();
+  } else {
+    pump();
+  }
+}
+
+std::uint64_t Core::next_seq_addr() {
+  const std::uint64_t lines = wl_.region.bytes / kCachelineBytes;
+  const std::uint64_t a = wl_.region.base + (seq_line_ % lines) * kCachelineBytes;
+  ++seq_line_;
+  return a;
+}
+
+std::uint64_t Core::random_addr() {
+  const std::uint64_t lines = wl_.region.bytes / kCachelineBytes;
+  return wl_.region.base + rng_.below(lines) * kCachelineBytes;
+}
+
+void Core::set_paused(bool paused) {
+  if (paused_ == paused) return;
+  paused_ = paused;
+  if (!paused_) pump();
+}
+
+void Core::pump() {
+  if (paused_) return;
+  if (episodic()) {
+    // Issue the remainder of the current episode as LFB slots free up.
+    while (inflight_ < lfb_capacity() &&
+           (episode_reads_to_issue_ > 0 || episode_writes_to_issue_ > 0)) {
+      const bool is_store = episode_writes_to_issue_ > 0;
+      if (is_store)
+        --episode_writes_to_issue_;
+      else
+        --episode_reads_to_issue_;
+      issue_read(random_addr(), is_store);
+    }
+    return;
+  }
+  while (inflight_ < lfb_capacity() && !think_pending_) {
+    if (wl_.think > 0) {
+      think_pending_ = true;
+      sim_.schedule(wl_.think, [this] {
+        think_pending_ = false;
+        if (paused_) return;
+        if (inflight_ < lfb_capacity()) {
+          const bool is_store = wl_.write_fraction > 0.0 && rng_.chance(wl_.write_fraction);
+          const std::uint64_t addr = wl_.pattern == CoreWorkload::Pattern::kSequential
+                                         ? next_seq_addr()
+                                         : random_addr();
+          issue_read(addr, is_store);
+        }
+        pump();
+      });
+      return;
+    }
+    const bool is_store = wl_.write_fraction > 0.0 && rng_.chance(wl_.write_fraction);
+    const std::uint64_t addr =
+        wl_.pattern == CoreWorkload::Pattern::kSequential ? next_seq_addr() : random_addr();
+    issue_read(addr, is_store);
+  }
+}
+
+void Core::issue_read(std::uint64_t addr, bool is_store) {
+  ++inflight_;
+  const Tick now = sim_.now();
+  lfb_station_.enter(now);
+  mem::Request req;
+  req.addr = addr;
+  req.op = mem::Op::kRead;  // the store's RFO is a read
+  req.source = mem::Source::kCpu;
+  req.origin = id_;
+  req.created = now;
+  req.completer = this;
+  req.tag = is_store ? 1 : 0;
+  sim_.schedule(cfg_.t_core_to_cha, [this, req] { send_to_cha(req); });
+}
+
+void Core::send_to_cha(mem::Request req) {
+  if (cha_.try_submit(req)) {
+    cha_.record_admission_wait(req.cls(), 0);
+    return;
+  }
+  auto& q = req.op == mem::Op::kRead ? blocked_reads_ : blocked_writes_;
+  q.push_back(Blocked{req, sim_.now()});
+  cha_.wait_for_admission(req.op, this, mem::Source::kCpu);
+}
+
+bool Core::on_cha_admission(mem::Op op) {
+  auto& q = op == mem::Op::kRead ? blocked_reads_ : blocked_writes_;
+  if (q.empty()) return false;
+  Blocked b = q.front();
+  if (!cha_.try_submit(b.req)) {
+    // Slot raced away; stay registered for the next one.
+    cha_.wait_for_admission(op, this, mem::Source::kCpu);
+    return false;
+  }
+  q.pop_front();
+  cha_.record_admission_wait(b.req.cls(), sim_.now() - b.since);
+  if (!q.empty()) cha_.wait_for_admission(op, this, mem::Source::kCpu);
+  return true;
+}
+
+void Core::complete(const mem::Request& req, Tick now) {
+  if (req.op == mem::Op::kRead) {
+    ++lines_read_;
+    if (req.tag == 1) {
+      // Store: data (RFO) arrived; the LFB entry is now held for the write
+      // phase until the CHA accepts the write (C2M-Write domain).
+      write_station_.enter(now);
+      mem::Request wr;
+      wr.addr = req.addr;
+      wr.op = mem::Op::kWrite;
+      wr.source = mem::Source::kCpu;
+      wr.origin = id_;
+      wr.created = req.created;            // original issue: keeps LFB latency = read+write
+      wr.completer = this;
+      wr.tag = static_cast<std::uint64_t>(now);  // write-phase start, for write_station_
+      sim_.schedule(cfg_.t_wb_to_cha, [this, wr] { send_to_cha(wr); });
+      return;
+    }
+    assert(inflight_ > 0);
+    --inflight_;
+    lfb_station_.leave(now, req.created);
+    if (auto* tr = sim::Tracer::global())
+      tr->complete_event("c2m-read", "domain", req.created, now - req.created,
+                         sim::Tracer::kTrackCore + id_);
+  } else {
+    // CHA acknowledged the write: C2M-Write credit replenished.
+    ++lines_written_;
+    assert(inflight_ > 0);
+    --inflight_;
+    lfb_station_.leave(now, req.created);
+    write_station_.leave(now, static_cast<Tick>(req.tag));
+    if (auto* tr = sim::Tracer::global())
+      tr->complete_event("c2m-store", "domain", req.created, now - req.created,
+                         sim::Tracer::kTrackCore + id_);
+  }
+
+  if (episodic()) {
+    assert(episode_outstanding_ > 0);
+    --episode_outstanding_;
+    pump();  // issue any not-yet-issued accesses of this episode
+    if (episode_outstanding_ == 0 && episode_reads_to_issue_ == 0 &&
+        episode_writes_to_issue_ == 0) {
+      ++episodes_done_in_query_;
+      if (episodes_done_in_query_ >= wl_.episodes_per_query) {
+        episodes_done_in_query_ = 0;
+        ++queries_;
+      }
+      begin_episode_after_compute();
+    }
+    return;
+  }
+  pump();
+}
+
+void Core::begin_episode_after_compute() {
+  in_compute_ = true;
+  sim_.schedule(wl_.episode_compute, [this] {
+    in_compute_ = false;
+    issue_episode();
+  });
+}
+
+void Core::issue_episode() {
+  episode_reads_to_issue_ = wl_.episode_reads;
+  episode_writes_to_issue_ = wl_.episode_writes;
+  episode_outstanding_ = wl_.episode_reads + wl_.episode_writes;
+  pump();
+}
+
+void Core::reset_counters(Tick now) {
+  lfb_station_.reset(now);
+  write_station_.reset(now);
+  lines_read_ = 0;
+  lines_written_ = 0;
+  queries_ = 0;
+}
+
+}  // namespace hostnet::cpu

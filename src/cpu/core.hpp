@@ -1,0 +1,130 @@
+// CPU core model: the Line Fill Buffer (LFB) and traffic generation.
+//
+// A core can issue instructions orders of magnitude faster than the memory
+// round trip, so the LFB (10-12 entries) is the binding credit pool of the
+// C2M-Read domain (paper sections 4.1/5.1): a credit is allocated at issue
+// and replenished when data returns from DRAM.
+//
+// For write workloads we model the paper's observation that, for the
+// C2M-ReadWrite (STREAM-store) pattern, the measured LFB latency equals the
+// *sum* of the C2M-Read and C2M-Write domain latencies: every store first
+// RFO-reads its cacheline (C2M-Read domain), then the entry is held until
+// the write is handed to the CHA (C2M-Write domain, ~10 ns unloaded). CHA
+// write backpressure therefore throttles the core by holding LFB entries --
+// which is exactly the "requests blocked at the cores before being admitted
+// into the CHA" phase of the red regime.
+//
+// Three generation modes cover all the paper's C2M workloads:
+//  * stream  (sequential, optional write fraction)  -> C2M-Read / C2M-ReadWrite
+//  * random  (uniform in a region, optional writes, optional per-access
+//             think time)                           -> GAPBS PR / BC
+//  * episodic (compute; burst of B parallel reads; barrier) x K per query
+//                                                    -> Redis-like apps
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "cha/cha.hpp"
+#include "common/rng.hpp"
+#include "counters/station.hpp"
+#include "mem/request.hpp"
+#include "sim/simulator.hpp"
+
+namespace hostnet::cpu {
+
+struct CoreWorkload {
+  enum class Pattern : std::uint8_t { kSequential, kRandom } pattern = Pattern::kSequential;
+  mem::Region region{};
+  /// Fraction of accesses that are stores (RFO read + write-back of the
+  /// same line). 1.0 models STREAM-store (50/50 read/write memory traffic).
+  double write_fraction = 0.0;
+  /// Pause between a slot becoming free and the next issue (compute).
+  Tick think = 0;
+
+  // Episodic (request/response app) mode; active when episode_reads > 0.
+  std::uint32_t episode_reads = 0;     ///< parallel misses per episode
+  std::uint32_t episode_writes = 0;    ///< stores per episode (issued with reads)
+  Tick episode_compute = 0;            ///< compute before each episode
+  std::uint32_t episodes_per_query = 1;
+};
+
+struct CoreConfig {
+  std::uint32_t lfb_entries = 12;
+  /// Extra outstanding-miss slots when the hardware prefetcher helps
+  /// (sequential patterns only; L2 streamer running ahead).
+  std::uint32_t prefetch_extra = 0;
+  Tick t_core_to_cha = ns(20);  ///< L1/L2 miss path + hop to the CHA
+  Tick t_wb_to_cha = ns(6);     ///< write handoff to the CHA (C2M-Write hop)
+};
+
+class Core final : public mem::Completer, public cha::ChaClient {
+ public:
+  Core(sim::Simulator& sim, cha::Cha& cha, const CoreConfig& cfg,
+       const CoreWorkload& wl, std::uint16_t id, std::uint64_t seed);
+
+  void start();
+
+  /// Duty-cycle throttling hook (used by the hostCC-style controller): a
+  /// paused core stops issuing new requests; in-flight ones complete.
+  void set_paused(bool paused);
+  bool paused() const { return paused_; }
+
+  // -- mem::Completer / cha::ChaClient ---------------------------------------
+  void complete(const mem::Request& req, Tick now) override;
+  bool on_cha_admission(mem::Op op) override;
+
+  // -- measurement ------------------------------------------------------------
+  counters::LatencyStation& lfb_station() { return lfb_station_; }
+  counters::LatencyStation& write_station() { return write_station_; }
+  std::uint64_t lines_read() const { return lines_read_; }
+  std::uint64_t lines_written() const { return lines_written_; }
+  std::uint64_t queries() const { return queries_; }
+  void reset_counters(Tick now);
+
+ private:
+  std::uint32_t lfb_capacity() const;
+  bool episodic() const { return wl_.episode_reads + wl_.episode_writes > 0; }
+  std::uint64_t next_seq_addr();
+  std::uint64_t random_addr();
+  void pump();
+  void issue_read(std::uint64_t addr, bool is_store);
+  void send_to_cha(mem::Request req);
+  void issue_episode();
+  void begin_episode_after_compute();
+
+  sim::Simulator& sim_;
+  cha::Cha& cha_;
+  CoreConfig cfg_;
+  CoreWorkload wl_;
+  std::uint16_t id_;
+  Rng rng_;
+
+  std::uint32_t inflight_ = 0;        ///< LFB entries in use
+  std::uint64_t seq_line_ = 0;
+  bool think_pending_ = false;
+  bool paused_ = false;
+
+  // Episodic state.
+  std::uint32_t episode_outstanding_ = 0;
+  std::uint32_t episode_reads_to_issue_ = 0;
+  std::uint32_t episode_writes_to_issue_ = 0;
+  std::uint32_t episodes_done_in_query_ = 0;
+  bool in_compute_ = false;
+
+  // Requests that failed CHA admission, with when they first blocked.
+  struct Blocked {
+    mem::Request req;
+    Tick since;
+  };
+  std::deque<Blocked> blocked_reads_;
+  std::deque<Blocked> blocked_writes_;
+
+  counters::LatencyStation lfb_station_;    ///< credit hold time (the LFB latency)
+  counters::LatencyStation write_station_;  ///< C2M-Write domain (send -> CHA ack)
+  std::uint64_t lines_read_ = 0;
+  std::uint64_t lines_written_ = 0;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace hostnet::cpu

@@ -1,0 +1,67 @@
+#include "hostcc/hostcc.hpp"
+
+#include <algorithm>
+
+namespace hostnet::hostcc {
+
+HostCongestionController::HostCongestionController(core::HostSystem& host,
+                                                   const HostccConfig& cfg)
+    : host_(host), cfg_(cfg) {
+  host_.attach([this] { tick(); },
+               [this](Tick now) {
+                 window_start_ = now;
+                 throttle_integral_ = 0.0;
+                 last_change_ = now;
+               });
+}
+
+void HostCongestionController::sample_latency() {
+  auto& st = host_.iio().write_station();
+  const double sum = st.mean_latency_ns() * static_cast<double>(st.completions());
+  const std::uint64_t n = st.completions();
+  if (n > prev_completions_) {
+    last_latency_ns_ =
+        (sum - prev_latency_sum_) / static_cast<double>(n - prev_completions_);
+  }
+  // A counter reset (new measurement window) rewinds the totals.
+  if (n < prev_completions_ || sum < prev_latency_sum_) last_latency_ns_ = 0.0;
+  prev_latency_sum_ = sum;
+  prev_completions_ = n;
+}
+
+void HostCongestionController::apply() {
+  const Tick now = host_.sim().now();
+  throttle_integral_ += throttle_ * static_cast<double>(now - last_change_);
+  last_change_ = now;
+
+  if (throttle_ <= 0.0) {
+    for (auto& c : host_.cores()) c->set_paused(false);
+    return;
+  }
+  // Duty cycle: pause all C2M cores for throttle x interval, then resume.
+  for (auto& c : host_.cores()) c->set_paused(true);
+  const auto pause = static_cast<Tick>(throttle_ * static_cast<double>(cfg_.interval));
+  host_.sim().schedule(pause, [this] {
+    for (auto& c : host_.cores()) c->set_paused(false);
+  });
+}
+
+void HostCongestionController::tick() {
+  sample_latency();
+  if (last_latency_ns_ > cfg_.target_p2m_latency_ns) {
+    throttle_ = std::min(cfg_.max_throttle, throttle_ + cfg_.step);
+  } else {
+    throttle_ = std::max(0.0, throttle_ - cfg_.step / 2.0);
+  }
+  apply();
+  host_.sim().schedule(cfg_.interval, [this] { tick(); });
+}
+
+double HostCongestionController::avg_throttle(Tick now) const {
+  const Tick dt = now - window_start_;
+  if (dt <= 0) return throttle_;
+  return (throttle_integral_ + throttle_ * static_cast<double>(now - last_change_)) /
+         static_cast<double>(dt);
+}
+
+}  // namespace hostnet::hostcc

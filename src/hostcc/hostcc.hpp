@@ -1,0 +1,59 @@
+// Host congestion control -- the paper's future-work direction of
+// "extending ideas in hostCC [2] to the case of all traffic contained
+// within a single host" (section 7).
+//
+// A controller samples the P2M-Write domain latency (the IIO write-buffer
+// residency, exactly the signal the paper shows inflating under the red
+// regime) at a fixed interval and duty-cycle-throttles the C2M cores when
+// the latency exceeds a target. This trades a bounded amount of C2M
+// throughput for restoring the P2M side -- the allocation the default host
+// network cannot express.
+//
+//   target exceeded  -> throttle += step   (cores paused for throttle x interval)
+//   target met       -> throttle -= step/2 (AIMD-flavored: release slowly)
+#pragma once
+
+#include <cstdint>
+
+#include "core/host_system.hpp"
+
+namespace hostnet::hostcc {
+
+struct HostccConfig {
+  Tick interval = us(5);                ///< control loop period
+  double target_p2m_latency_ns = 400;   ///< keeps P2M >= ~13 GB/s of 14
+  double step = 0.10;                   ///< throttle increment per interval
+  double max_throttle = 0.95;
+};
+
+class HostCongestionController {
+ public:
+  /// Attaches to `host` (start/reset hooks); throttles every core that is
+  /// registered with the host when P2M-Write latency exceeds the target.
+  HostCongestionController(core::HostSystem& host, const HostccConfig& cfg);
+
+  double throttle() const { return throttle_; }
+  /// Time-average throttle over the measurement window.
+  double avg_throttle(Tick now) const;
+
+ private:
+  void tick();
+  void sample_latency();
+  void apply();
+
+  core::HostSystem& host_;
+  HostccConfig cfg_;
+  double throttle_ = 0.0;
+  double last_latency_ns_ = 0.0;
+
+  // Incremental latency sampling over the last interval.
+  double prev_latency_sum_ = 0.0;
+  std::uint64_t prev_completions_ = 0;
+
+  // Window accounting.
+  Tick window_start_ = 0;
+  double throttle_integral_ = 0.0;
+  Tick last_change_ = 0;
+};
+
+}  // namespace hostnet::hostcc

@@ -1,0 +1,129 @@
+#include "iio/iio.hpp"
+
+#include <cassert>
+
+#include "sim/trace.hpp"
+
+namespace hostnet::iio {
+
+Iio::Iio(sim::Simulator& sim, cha::Cha& cha, const IioConfig& cfg, std::uint16_t id)
+    : sim_(sim), cha_(cha), cfg_(cfg), id_(id) {}
+
+bool Iio::try_dma(mem::Op op, std::uint64_t addr, Device* dev, std::uint64_t tag) {
+  const Tick now = sim_.now();
+  mem::Request req;
+  req.addr = addr;
+  req.op = op;
+  req.source = mem::Source::kPeripheral;
+  req.origin = id_;
+  req.created = now;
+  req.completer = this;
+
+  if (op == mem::Op::kWrite) {
+    if (write_in_use_ >= cfg_.write_credits) {
+      register_device(op, dev);
+      return false;
+    }
+    ++write_in_use_;
+    write_station_.enter(now);
+    sim_.schedule(cfg_.t_proc_write + cfg_.t_to_cha, [this, req] { submit(req); });
+    return true;
+  }
+
+  if (read_in_use_ >= cfg_.read_credits) {
+    register_device(op, dev);
+    return false;
+  }
+  ++read_in_use_;
+  read_station_.enter(now);
+  // Remember who gets the data back.
+  std::uint64_t slot = pending_reads_.size();
+  for (std::uint64_t i = 0; i < pending_reads_.size(); ++i) {
+    if (pending_reads_[i].dev == nullptr) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == pending_reads_.size()) pending_reads_.push_back(Pending{});
+  pending_reads_[slot] = Pending{dev, tag};
+  req.tag = slot;
+  sim_.schedule(cfg_.t_proc_read + cfg_.t_to_cha, [this, req] { submit(req); });
+  return true;
+}
+
+void Iio::submit(mem::Request req) {
+  if (cha_.try_submit(req)) {
+    cha_.record_admission_wait(req.cls(), 0);
+    return;
+  }
+  auto& q = req.op == mem::Op::kRead ? blocked_reads_ : blocked_writes_;
+  q.push_back(Blocked{req, sim_.now()});
+  cha_.wait_for_admission(req.op, this, mem::Source::kPeripheral);
+}
+
+bool Iio::on_cha_admission(mem::Op op) {
+  auto& q = op == mem::Op::kRead ? blocked_reads_ : blocked_writes_;
+  if (q.empty()) return false;
+  Blocked b = q.front();
+  if (!cha_.try_submit(b.req)) {
+    cha_.wait_for_admission(op, this, mem::Source::kPeripheral);
+    return false;
+  }
+  q.pop_front();
+  cha_.record_admission_wait(b.req.cls(), sim_.now() - b.since);
+  if (!q.empty()) cha_.wait_for_admission(op, this, mem::Source::kPeripheral);
+  return true;
+}
+
+void Iio::complete(const mem::Request& req, Tick now) {
+  if (req.op == mem::Op::kWrite) {
+    // Admitted to the MC WPQ: P2M-Write credit replenished.
+    assert(write_in_use_ > 0);
+    --write_in_use_;
+    write_station_.leave(now, req.created);
+    if (auto* tr = sim::Tracer::global()) {
+      tr->complete_event("p2m-write", "domain", req.created, now - req.created,
+                         sim::Tracer::kTrackIio);
+      tr->counter("iio-write-credits", now, static_cast<double>(write_in_use_));
+    }
+    notify_devices(mem::Op::kWrite);
+    return;
+  }
+  // Data returned to the IIO: P2M-Read credit replenished; complete the
+  // PCIe non-posted transaction back to the device.
+  assert(read_in_use_ > 0);
+  --read_in_use_;
+  read_station_.leave(now, req.created);
+  if (auto* tr = sim::Tracer::global())
+    tr->complete_event("p2m-read", "domain", req.created, now - req.created,
+                       sim::Tracer::kTrackIio);
+  const Pending p = pending_reads_[req.tag];
+  pending_reads_[req.tag] = Pending{};
+  notify_devices(mem::Op::kRead);
+  if (p.dev != nullptr) {
+    sim_.schedule(cfg_.t_complete_read,
+                  [this, p] { p.dev->on_read_data(p.tag, sim_.now()); });
+  }
+}
+
+void Iio::register_device(mem::Op op, Device* dev) {
+  auto& q = op == mem::Op::kWrite ? write_waiters_ : read_waiters_;
+  for (Device* d : q)
+    if (d == dev) return;  // already waiting
+  q.push_back(dev);
+}
+
+void Iio::notify_devices(mem::Op op) {
+  auto& q = op == mem::Op::kWrite ? write_waiters_ : read_waiters_;
+  if (q.empty()) return;
+  Device* d = q.front();
+  q.pop_front();
+  d->on_credit_available(op);
+}
+
+void Iio::reset_counters(Tick now) {
+  write_station_.reset(now);
+  read_station_.reset(now);
+}
+
+}  // namespace hostnet::iio

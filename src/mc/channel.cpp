@@ -1,0 +1,182 @@
+#include "mc/channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/trace.hpp"
+
+namespace hostnet::mc {
+
+Channel::Channel(sim::Simulator& sim, const ChannelConfig& cfg, std::uint32_t banks,
+                 std::uint32_t index, ChannelListener* listener)
+    : sim_(sim),
+      cfg_(cfg),
+      index_(index),
+      listener_(listener),
+      banks_(banks),
+      bank_pending_(banks, -1),
+      counters_(banks, cfg.wpq_capacity) {}
+
+void Channel::enqueue_read(const mem::Request& req, const dram::Coord& coord) {
+  assert(rpq_has_space());
+  rpq_.push_back(Entry{req, coord, sim_.now(), next_entry_id_++, false, 0});
+  counters_.rpq_occ.add(sim_.now(), +1);
+  kick();
+}
+
+void Channel::enqueue_write(const mem::Request& req, const dram::Coord& coord) {
+  assert(wpq_has_space());
+  wpq_.push_back(Entry{req, coord, sim_.now(), next_entry_id_++, false, 0});
+  counters_.wpq_occ.add(sim_.now(), +1);
+  // A lone write enqueued while the controller idles in read mode must not
+  // wait forever: arm the stale-write timer.
+  if (mode_ == Mode::kRead) request_kick_at(sim_.now() + cfg_.max_write_age);
+  kick();
+}
+
+void Channel::maybe_switch_mode(Tick now) {
+  if (mode_ == Mode::kRead) {
+    const bool dwell_done = now >= read_dwell_until_;
+    const bool high = wpq_.size() >= cfg_.wpq_high_wm;
+    // Opportunistic drains only for stale writes: switching on momentary RPQ
+    // emptiness thrashes the bus direction at low load.
+    const bool idle_drain = rpq_.empty() && !wpq_.empty() &&
+                            now - wpq_.front().arrival >= cfg_.max_write_age;
+    if (high && !dwell_done && !idle_drain) {
+      request_kick_at(read_dwell_until_);
+      return;
+    }
+    if ((high && dwell_done) || idle_drain) {
+      mode_ = Mode::kWrite;
+      bus_free_at_ = std::max(bus_free_at_, now) + cfg_.timing.t_rtw;
+      release_inactive_banks(rpq_);
+      if (auto* tr = sim::Tracer::global()) {
+        tr->instant("write-drain", "mc", now, sim::Tracer::kTrackChannel + index_);
+        tr->counter("wpq-occupancy", now, static_cast<double>(wpq_.size()));
+      }
+    }
+  } else {
+    const bool drained = !rpq_.empty() && wpq_.size() <= cfg_.wpq_low_wm;
+    if (drained) {
+      mode_ = Mode::kRead;
+      read_dwell_until_ =
+          now + std::min(cfg_.read_dwell_cap,
+                         static_cast<Tick>(rpq_.size()) * cfg_.dwell_per_queued_read);
+      bus_free_at_ = std::max(bus_free_at_, now) + cfg_.timing.t_wtr;
+      ++counters_.switch_cycles;
+      release_inactive_banks(wpq_);
+    }
+  }
+}
+
+void Channel::release_inactive_banks(std::deque<Entry>& q) {
+  // Entries of the now-inactive queue give up their bank reservations so the
+  // active mode can use the banks; they re-prepare on their next turn (row
+  // state persists, so an undisturbed row is still a hit). Without this a
+  // prepped-but-unissued entry could block the other mode indefinitely.
+  for (auto& e : q) {
+    if (!e.prepped) continue;
+    if (bank_pending_[e.coord.bank] == static_cast<std::int64_t>(e.id))
+      bank_pending_[e.coord.bank] = -1;
+    e.prepped = false;
+  }
+}
+
+void Channel::prep_banks(Tick now) {
+  auto& q = active_queue();
+  std::uint32_t scanned = 0;
+  for (auto& e : q) {
+    if (++scanned > cfg_.prep_window) break;
+    if (e.prepped) continue;
+    if (bank_pending_[e.coord.bank] != -1) continue;  // older entry owns the bank
+    e.row_result = banks_[e.coord.bank].prepare(now, e.coord.row, cfg_.timing);
+    e.prepped = true;
+    e.row_ready_at = banks_[e.coord.bank].ready_at();
+    bank_pending_[e.coord.bank] = static_cast<std::int64_t>(e.id);
+  }
+}
+
+bool Channel::try_issue(Tick now) {
+  if (bus_free_at_ > now) return false;
+  auto& q = active_queue();
+  auto it = q.end();
+  for (auto i = q.begin(); i != q.end(); ++i) {
+    if (i->prepped && i->row_ready_at <= now) {
+      it = i;
+      break;  // oldest row-ready request wins the data bus
+    }
+  }
+  if (it == q.end()) return false;
+
+  const Entry e = *it;
+  q.erase(it);
+  bank_pending_[e.coord.bank] = -1;
+  // Row-buffer outcomes are accounted per issued line (formula inputs are
+  // per-cacheline), using the outcome of the prep that made this issue ready.
+  counters_.on_row_result(e.req.op, e.row_result == dram::RowResult::kHit,
+                          e.row_result == dram::RowResult::kMissConflict);
+  banks_[e.coord.bank].column_access(now, e.req.op == mem::Op::kWrite, cfg_.timing);
+  bus_free_at_ = now + cfg_.timing.t_trans;
+
+  if (e.req.op == mem::Op::kRead) {
+    counters_.on_read_issued(e.coord.bank);
+    counters_.rpq_occ.add(now, -1);
+    const Tick done = now + cfg_.timing.t_cas + cfg_.timing.t_trans;
+    const mem::Request req = e.req;
+    sim_.schedule_at(done, [this, req, done] { listener_->on_read_data(req, done); });
+    listener_->on_rpq_slot_freed(index_, now);
+  } else {
+    ++counters_.lines_written;
+    counters_.wpq_occ.add(now, -1);
+    const Tick done = now + cfg_.timing.t_trans;
+    sim_.schedule_at(done, [this, done] { listener_->on_wpq_slot_freed(index_, done); });
+  }
+  return true;
+}
+
+void Channel::schedule_next(Tick now) {
+  const auto& q = active_queue();
+  if (q.empty()) {
+    // Nothing to do in the active mode; a pending inactive-mode switch is
+    // driven by enqueue kicks or the stale-write timer.
+    if (mode_ == Mode::kRead && !wpq_.empty())
+      request_kick_at(std::max(now + 1, wpq_.front().arrival + cfg_.max_write_age));
+    return;
+  }
+  Tick earliest_ready = std::numeric_limits<Tick>::max();
+  bool any_prepped = false;
+  std::uint32_t scanned = 0;
+  for (const auto& e : q) {
+    if (++scanned > cfg_.prep_window) break;
+    if (e.prepped) {
+      any_prepped = true;
+      earliest_ready = std::min(earliest_ready, e.row_ready_at);
+    }
+  }
+  if (!any_prepped) return;  // waiting on a bank owned by the inactive queue
+  request_kick_at(std::max({now + 1, bus_free_at_, earliest_ready}));
+}
+
+void Channel::request_kick_at(Tick at) {
+  if (at >= next_kick_at_) return;
+  next_kick_at_ = at;
+  sim_.schedule_at(at, [this, at] {
+    if (next_kick_at_ != at) return;  // superseded by an earlier kick
+    next_kick_at_ = std::numeric_limits<Tick>::max();
+    kick();
+  });
+}
+
+void Channel::kick() {
+  const Tick now = sim_.now();
+  maybe_switch_mode(now);
+  prep_banks(now);
+  if (try_issue(now)) {
+    // The bus is busy until bus_free_at_; prepare more banks meanwhile.
+    maybe_switch_mode(now);
+    prep_banks(now);
+  }
+  schedule_next(now);
+}
+
+}  // namespace hostnet::mc

@@ -1,0 +1,125 @@
+// One memory-channel scheduler of the memory controller.
+//
+// Mirrors the MC behaviour the paper reverse-engineers (section 3):
+//  * separate Read Pending Queue (RPQ) and Write Pending Queue (WPQ);
+//  * the half-duplex channel operates in read mode or write mode, switching
+//    costs tRTW / tWTR during which the data bus is idle;
+//  * write drains are governed by WPQ high/low watermarks (writes are
+//    asynchronous; they are buffered and drained in bursts);
+//  * banks prepare rows (PRE/ACT) in parallel and independently of the data
+//    bus, in per-bank FIFO order; the data bus issues the *oldest row-ready*
+//    request of the active mode (FR-FCFS-lite). Requests can therefore be
+//    "blocked on bank processing even when the memory channel is idle"
+//    (section 5.1) -- the root cause of queueing before bandwidth saturation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "counters/mc_counters.hpp"
+#include "dram/address_map.hpp"
+#include "dram/bank.hpp"
+#include "dram/timing.hpp"
+#include "mem/request.hpp"
+#include "sim/simulator.hpp"
+
+namespace hostnet::mc {
+
+struct ChannelConfig {
+  std::uint32_t rpq_capacity = 48;
+  std::uint32_t wpq_capacity = 24;
+  std::uint32_t wpq_high_wm = 22;   ///< enter write drain at this occupancy
+  std::uint32_t wpq_low_wm = 8;     ///< leave write drain at this occupancy
+  Tick max_write_age = ns(400);     ///< force a drain for stale writes
+  /// Read priority: after a write drain, serve reads for at least
+  /// `dwell_per_queued_read x RPQ occupancy at switch time` before the next
+  /// high-watermark drain (idle drains are exempt). Under read pressure the
+  /// MC favors (synchronous) reads over (posted) writes, pushing sustained
+  /// write overload back into the CHA tracker; at low read load drains are
+  /// unimpeded.
+  Tick dwell_per_queued_read = ns(12);
+  Tick read_dwell_cap = ns(150);  ///< upper bound on the read-priority dwell
+  std::uint32_t prep_window = 24;   ///< queue depth scanned for bank prep
+  dram::Timing timing{};
+};
+
+/// Callbacks into the CHA.
+class ChannelListener {
+ public:
+  virtual ~ChannelListener() = default;
+  /// Read data arrived back at the CHA boundary.
+  virtual void on_read_data(const mem::Request& req, Tick now) = 0;
+  /// A write left the WPQ for DRAM (a WPQ slot is free again).
+  virtual void on_wpq_slot_freed(std::uint32_t channel, Tick now) = 0;
+  /// A read left the RPQ (an RPQ slot is free again).
+  virtual void on_rpq_slot_freed(std::uint32_t channel, Tick now) = 0;
+};
+
+class Channel {
+ public:
+  Channel(sim::Simulator& sim, const ChannelConfig& cfg, std::uint32_t banks,
+          std::uint32_t index, ChannelListener* listener);
+
+  /// The listener (the CHA) is constructed after the MC; it attaches here.
+  void set_listener(ChannelListener* l) { listener_ = l; }
+
+  bool rpq_has_space() const { return rpq_.size() < cfg_.rpq_capacity; }
+  bool wpq_has_space() const { return wpq_.size() < cfg_.wpq_capacity; }
+
+  /// Caller must have checked *_has_space(). `coord` must be for this channel.
+  void enqueue_read(const mem::Request& req, const dram::Coord& coord);
+  void enqueue_write(const mem::Request& req, const dram::Coord& coord);
+
+  counters::McChannelCounters& counters() { return counters_; }
+  const counters::McChannelCounters& counters() const { return counters_; }
+  void reset_counters(Tick now) { counters_.reset(now); }
+
+  std::size_t rpq_size() const { return rpq_.size(); }
+  std::size_t wpq_size() const { return wpq_.size(); }
+
+ private:
+  enum class Mode : std::uint8_t { kRead, kWrite };
+
+  struct Entry {
+    mem::Request req;
+    dram::Coord coord;
+    Tick arrival = 0;
+    std::uint64_t id = 0;
+    bool prepped = false;
+    Tick row_ready_at = 0;
+    dram::RowResult row_result = dram::RowResult::kHit;
+  };
+
+  void release_inactive_banks(std::deque<Entry>& q);
+
+  void kick();
+  void maybe_switch_mode(Tick now);
+  void prep_banks(Tick now);
+  bool try_issue(Tick now);
+  void schedule_next(Tick now);
+  void request_kick_at(Tick at);
+
+  std::deque<Entry>& active_queue() { return mode_ == Mode::kRead ? rpq_ : wpq_; }
+
+  sim::Simulator& sim_;
+  ChannelConfig cfg_;
+  std::uint32_t index_;
+  ChannelListener* listener_;
+
+  std::deque<Entry> rpq_;
+  std::deque<Entry> wpq_;
+  std::vector<dram::Bank> banks_;
+  std::vector<std::int64_t> bank_pending_;  ///< entry id holding each bank, -1 if free
+
+  Mode mode_ = Mode::kRead;
+  Tick bus_free_at_ = 0;
+  Tick read_dwell_until_ = 0;
+  std::uint64_t next_entry_id_ = 0;
+  Tick next_kick_at_ = std::numeric_limits<Tick>::max();
+
+  counters::McChannelCounters counters_;
+};
+
+}  // namespace hostnet::mc

@@ -1,0 +1,302 @@
+#include "net/dctcp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "workloads/workloads.hpp"
+
+namespace hostnet::net {
+
+// ---------------------------------------------------------------------------
+// CopyCore
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint64_t kPhaseSocketRead = 0;
+constexpr std::uint64_t kPhaseAppRfo = 1;
+}  // namespace
+
+CopyCore::CopyCore(sim::Simulator& sim, cha::Cha& cha, const cpu::CoreConfig& cfg,
+                   mem::Region socket_buf, mem::Region app_buf, Tick proto_time,
+                   std::uint32_t lines_per_packet, bool app_in_cache, std::uint16_t id)
+    : sim_(sim),
+      cha_(cha),
+      cfg_(cfg),
+      socket_buf_(socket_buf),
+      app_buf_(app_buf),
+      proto_time_(proto_time),
+      lines_per_packet_(lines_per_packet),
+      app_in_cache_(app_in_cache),
+      id_(id) {}
+
+void CopyCore::notify_work() { try_start_packet(); }
+
+void CopyCore::try_start_packet() {
+  if (busy_ || ring_ == nullptr || ring_->empty()) return;
+  ring_->pop_front();
+  busy_ = true;
+  // Protocol processing (socket bookkeeping, TCP/IP) before the copy; this
+  // is the ~50% non-copy CPU time the paper cites from [10].
+  sim_.schedule(proto_time_, [this] {
+    lines_to_issue_ = lines_per_packet_;
+    lines_outstanding_ = lines_per_packet_;
+    pump();
+  });
+}
+
+void CopyCore::pump() {
+  while (inflight_ < cfg_.lfb_entries && lines_to_issue_ > 0) {
+    --lines_to_issue_;
+    const std::uint64_t line = line_cursor_++ % socket_buf_.lines();
+    ++inflight_;
+    lfb_station_.enter(sim_.now());
+    mem::Request req;
+    req.addr = socket_buf_.base + line * kCachelineBytes;
+    req.op = mem::Op::kRead;
+    req.source = mem::Source::kCpu;
+    req.origin = id_;
+    req.created = sim_.now();
+    req.completer = this;
+    req.tag = kPhaseSocketRead;
+    sim_.schedule(cfg_.t_core_to_cha, [this, req] { send_to_cha(req); });
+  }
+}
+
+void CopyCore::send_to_cha(mem::Request req) {
+  if (cha_.try_submit(req)) {
+    cha_.record_admission_wait(req.cls(), 0);
+    return;
+  }
+  auto& q = req.op == mem::Op::kRead ? blocked_reads_ : blocked_writes_;
+  q.push_back(Blocked{req, sim_.now()});
+  cha_.wait_for_admission(req.op, this, mem::Source::kCpu);
+}
+
+bool CopyCore::on_cha_admission(mem::Op op) {
+  auto& q = op == mem::Op::kRead ? blocked_reads_ : blocked_writes_;
+  if (q.empty()) return false;
+  Blocked b = q.front();
+  if (!cha_.try_submit(b.req)) {
+    cha_.wait_for_admission(op, this, mem::Source::kCpu);
+    return false;
+  }
+  q.pop_front();
+  cha_.record_admission_wait(b.req.cls(), sim_.now() - b.since);
+  if (!q.empty()) cha_.wait_for_admission(op, this, mem::Source::kCpu);
+  return true;
+}
+
+void CopyCore::complete(const mem::Request& req, Tick now) {
+  if (req.op == mem::Op::kRead && req.tag == kPhaseSocketRead && !app_in_cache_) {
+    // Socket data in registers; now RFO the destination app-buffer line
+    // (same LFB slot, next phase).
+    const std::uint64_t line = (req.addr - socket_buf_.base) / kCachelineBytes;
+    mem::Request rfo;
+    rfo.addr = app_buf_.base + (line % app_buf_.lines()) * kCachelineBytes;
+    rfo.op = mem::Op::kRead;
+    rfo.source = mem::Source::kCpu;
+    rfo.origin = id_;
+    rfo.created = req.created;
+    rfo.completer = this;
+    rfo.tag = kPhaseAppRfo;
+    sim_.schedule(cfg_.t_core_to_cha, [this, rfo] { send_to_cha(rfo); });
+    return;
+  }
+  if (req.op == mem::Op::kRead && req.tag == kPhaseAppRfo) {
+    // Destination line owned; hand the write to the CHA (C2M-Write domain).
+    mem::Request wr;
+    wr.addr = req.addr;
+    wr.op = mem::Op::kWrite;
+    wr.source = mem::Source::kCpu;
+    wr.origin = id_;
+    wr.created = req.created;
+    wr.completer = this;
+    sim_.schedule(cfg_.t_wb_to_cha, [this, wr] { send_to_cha(wr); });
+    return;
+  }
+
+  // Write acknowledged by the CHA: the line is copied, slot freed.
+  assert(inflight_ > 0);
+  --inflight_;
+  lfb_station_.leave(now, req.created);
+  ++lines_copied_;
+  assert(lines_outstanding_ > 0);
+  --lines_outstanding_;
+  if (lines_outstanding_ == 0 && lines_to_issue_ == 0) {
+    ++packets_copied_;
+    busy_ = false;
+    if (on_packet_copied_) on_packet_copied_();
+    try_start_packet();
+  } else {
+    pump();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpReceiver
+// ---------------------------------------------------------------------------
+
+TcpReceiver::TcpReceiver(core::HostSystem& host, const DctcpConfig& cfg)
+    : host_(host), cfg_(cfg), cwnd_(cfg.initial_cwnd) {
+  NicConfig nc = cfg_.nic;
+  nc.autonomous = false;
+  nc.pfc = false;
+  nc.wire_gb_per_s = cfg_.wire_gb_per_s;
+  nc.pcie_gb_per_s = host.config().pcie_write_gb_per_s;
+  nc.mtu_bytes = cfg_.mtu_bytes;
+  if (nc.region.bytes == 0 || nc.region.base == 0) nc.region = workloads::p2m_region();
+  nic_ = std::make_unique<NicDevice>(host.sim(), host.iio(), nc);
+  nic_->set_packet_delivered_cb([this](Tick now) { on_packet_delivered(now); });
+
+  const std::uint32_t lines_per_packet = cfg_.mtu_bytes / kCachelineBytes;
+  cpu::CoreConfig copy_cfg = host.config().core;
+  copy_cfg.lfb_entries = cfg_.copy_width;
+  for (std::uint32_t i = 0; i < cfg_.copy_cores; ++i) {
+    mem::Region app{(160ull + i) << 30, 1ull << 30};
+    auto cc = std::make_unique<CopyCore>(host.sim(), host.cha(), copy_cfg, nc.region,
+                                         app, cfg_.proto_ns_per_packet, lines_per_packet,
+                                         cfg_.app_buffer_cache_resident,
+                                         static_cast<std::uint16_t>(1000 + i));
+    cc->set_ring(&ring_, [this] { on_packet_copied(); });
+    copy_cores_.push_back(std::move(cc));
+  }
+
+  host.attach([this] { start(); }, [this](Tick now) { reset(now); });
+}
+
+void TcpReceiver::start() {
+  sender_pump();
+  host_.sim().schedule(cfg_.base_rtt, [this] { rtt_epoch(); });
+}
+
+void TcpReceiver::reset(Tick now) {
+  nic_->reset_counters(now);
+  for (auto& c : copy_cores_) c->reset_counters(now);
+  window_start_ = now;
+  packets_copied_ = packets_offered_ = packets_dropped_ = 0;
+  packets_marked_ = packets_accepted_ = 0;
+  cwnd_sum_ = 0;
+  cwnd_samples_ = 0;
+}
+
+void TcpReceiver::sender_pump() {
+  if (wire_busy_) return;
+  const double rwnd = static_cast<double>(cfg_.ring_packets) -
+                      static_cast<double>(ring_.size());
+  const double window = std::min(cwnd_, std::max(rwnd, 0.0));
+  if (static_cast<double>(inflight_) >= window) return;
+
+  ++inflight_;
+  ++packets_offered_;
+  wire_busy_ = true;
+  const Tick t_packet = serialization_ticks(cfg_.mtu_bytes, cfg_.wire_gb_per_s);
+  host_.sim().schedule(t_packet, [this] {
+    wire_busy_ = false;
+    sender_pump();
+  });
+  // One-way latency to the receiver NIC.
+  host_.sim().schedule(t_packet + cfg_.base_rtt / 2, [this] {
+    bool marked = false;
+    const bool accepted = nic_->offer_packet(&marked);
+    if (!accepted) {
+      ++packets_dropped_;
+      ++epoch_drops_;
+      // Loss detected a round-trip later (fast retransmit).
+      host_.sim().schedule(cfg_.base_rtt, [this] {
+        assert(inflight_ > 0);
+        --inflight_;
+        sender_pump();
+      });
+      return;
+    }
+    ++packets_accepted_;
+    if (marked) {
+      ++packets_marked_;
+      ++epoch_marks_;
+    }
+    // ACK returns after the remaining half RTT.
+    host_.sim().schedule(cfg_.base_rtt / 2, [this] {
+      ++epoch_acks_;
+      assert(inflight_ > 0);
+      --inflight_;
+      sender_pump();
+    });
+  });
+}
+
+void TcpReceiver::on_packet_delivered(Tick now) {
+  ring_.push_back(now);
+  for (auto& c : copy_cores_) c->notify_work();
+}
+
+void TcpReceiver::on_packet_copied() {
+  ++packets_copied_;
+  sender_pump();  // receive window freed
+}
+
+void TcpReceiver::rtt_epoch() {
+  if (epoch_drops_ > 0) {
+    cwnd_ = std::max(2.0, cwnd_ / 2.0);
+  } else if (epoch_acks_ > 0) {
+    const double frac =
+        static_cast<double>(epoch_marks_) / static_cast<double>(epoch_acks_);
+    alpha_ = (1.0 - cfg_.dctcp_g) * alpha_ + cfg_.dctcp_g * frac;
+    if (frac > 0)
+      cwnd_ = std::max(2.0, cwnd_ * (1.0 - alpha_ / 2.0));
+    else
+      cwnd_ += 1.0;
+  }
+  cwnd_ = std::min(cwnd_, 2048.0);
+  cwnd_sum_ += cwnd_;
+  ++cwnd_samples_;
+  epoch_acks_ = epoch_marks_ = epoch_drops_ = 0;
+  host_.sim().schedule(cfg_.base_rtt, [this] { rtt_epoch(); });
+}
+
+double TcpReceiver::goodput_gbps(Tick now) const {
+  const Tick w = now - window_start_;
+  return gb_per_s(packets_copied_ * cfg_.mtu_bytes, w);
+}
+
+double TcpReceiver::p2m_gbps(Tick now) const {
+  const Tick w = now - window_start_;
+  return gb_per_s(nic_->bytes_dma(), w);
+}
+
+double TcpReceiver::loss_rate() const {
+  return packets_offered_ > 0
+             ? static_cast<double>(packets_dropped_) / static_cast<double>(packets_offered_)
+             : 0.0;
+}
+
+double TcpReceiver::mark_fraction() const {
+  return packets_accepted_ > 0
+             ? static_cast<double>(packets_marked_) / static_cast<double>(packets_accepted_)
+             : 0.0;
+}
+
+double TcpReceiver::avg_cwnd() const {
+  return cwnd_samples_ > 0 ? cwnd_sum_ / static_cast<double>(cwnd_samples_) : cwnd_;
+}
+
+double TcpReceiver::copy_lfb_latency_ns() const {
+  double sum = 0;
+  std::uint64_t n = 0;
+  for (const auto& c : copy_cores_) {
+    auto& s = const_cast<CopyCore&>(*c).lfb_station();
+    if (s.completions() > 0) {
+      sum += s.mean_latency_ns() * static_cast<double>(s.completions());
+      n += s.completions();
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TcpReceiver::copy_lfb_occupancy(Tick now) const {
+  double sum = 0;
+  for (const auto& c : copy_cores_)
+    sum += const_cast<CopyCore&>(*c).lfb_station().avg_occupancy(now);
+  return sum;
+}
+
+}  // namespace hostnet::net

@@ -1,0 +1,174 @@
+// DCTCP receiver case study (paper Appendix C.2/D.2).
+//
+// A sender pushes long flows over a lossy fabric into the receiver NIC; the
+// NIC DMA-writes packets into kernel socket buffers (P2M-Write); kernel
+// copy cores move payload from socket buffers to application buffers,
+// generating C2M traffic (read of the socket buffer + RFO/write-back of the
+// app buffer) plus protocol processing. Two coupling loops reproduce the
+// paper's observations:
+//
+//  * blue regime: C2M latency inflation slows the copy -> the receive
+//    window (free ring slots) shrinks -> the sender slows. No drops.
+//  * red regime: P2M-Write degradation backs up the NIC's RX buffer ->
+//    drops -> DCTCP congestion response at the sender.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/host_system.hpp"
+#include "counters/station.hpp"
+#include "net/nic_device.hpp"
+
+namespace hostnet::net {
+
+struct DctcpConfig {
+  double wire_gb_per_s = 12.25;       ///< 100 Gbps link, effective
+  std::uint32_t mtu_bytes = 9216;     ///< jumbo frames (144 cachelines)
+  std::uint32_t copy_cores = 4;       ///< iperf receiver cores
+  /// Outstanding cachelines per copy core (the LFB bounds the copy's MLP;
+  /// proto_ns_per_packet is sized so 4 cores just saturate 100 Gbps in
+  /// isolation, matching the paper's "sufficient to saturate" setup).
+  std::uint32_t copy_width = 12;
+  /// iperf reuses a small receive buffer that stays cache-resident: the
+  /// copy's destination stores hit the LLC and generate no memory traffic.
+  /// Set false to model a streaming (non-resident) destination buffer.
+  bool app_buffer_cache_resident = true;
+  std::uint32_t ring_packets = 192;   ///< socket buffer / receive window
+  Tick base_rtt = us(40);
+  Tick proto_ns_per_packet = ns(1900);///< non-copy kernel processing per packet
+  double dctcp_g = 0.0625;
+  double initial_cwnd = 64;           ///< packets
+  /// Lossy + ECN settings; a shallower RX buffer than the RoCE default so
+  /// red-regime DMA backpressure can outrun the ECN response and drop.
+  NicConfig nic = [] {
+    NicConfig n;
+    n.rx_buffer_bytes = 96 << 10;
+    n.ecn_threshold = 56 << 10;
+    return n;
+  }();
+};
+
+/// One kernel copy core: pops packets from the RX ring and copies them.
+/// Per cacheline: socket-buffer read, then app-buffer RFO + write-back;
+/// the LFB slot is held through all three trips.
+class CopyCore final : public mem::Completer, public cha::ChaClient {
+ public:
+  CopyCore(sim::Simulator& sim, cha::Cha& cha, const cpu::CoreConfig& cfg,
+           mem::Region socket_buf, mem::Region app_buf, Tick proto_time,
+           std::uint32_t lines_per_packet, bool app_in_cache, std::uint16_t id);
+
+  /// Called by the receiver when a packet is available; the core pulls via
+  /// the shared ring through `pop` when idle.
+  void notify_work();
+  void set_ring(std::deque<Tick>* ring, std::function<void()> on_packet_copied) {
+    ring_ = ring;
+    on_packet_copied_ = std::move(on_packet_copied);
+  }
+
+  void complete(const mem::Request& req, Tick now) override;
+  bool on_cha_admission(mem::Op op) override;
+
+  counters::LatencyStation& lfb_station() { return lfb_station_; }
+  std::uint64_t packets_copied() const { return packets_copied_; }
+  std::uint64_t lines_copied() const { return lines_copied_; }
+  void reset_counters(Tick now) {
+    lfb_station_.reset(now);
+    packets_copied_ = 0;
+    lines_copied_ = 0;
+  }
+
+ private:
+  void try_start_packet();
+  void pump();
+  void issue(std::uint64_t addr, std::uint64_t phase);
+  void send_to_cha(mem::Request req);
+
+  sim::Simulator& sim_;
+  cha::Cha& cha_;
+  cpu::CoreConfig cfg_;
+  mem::Region socket_buf_;
+  mem::Region app_buf_;
+  Tick proto_time_;
+  std::uint32_t lines_per_packet_;
+  bool app_in_cache_;
+  std::uint16_t id_;
+
+  std::deque<Tick>* ring_ = nullptr;
+  std::function<void()> on_packet_copied_;
+
+  bool busy_ = false;           ///< processing a packet (incl. proto time)
+  std::uint32_t lines_to_issue_ = 0;
+  std::uint32_t lines_outstanding_ = 0;
+  std::uint32_t inflight_ = 0;
+  std::uint64_t line_cursor_ = 0;
+
+  struct Blocked {
+    mem::Request req;
+    Tick since;
+  };
+  std::deque<Blocked> blocked_reads_;
+  std::deque<Blocked> blocked_writes_;
+
+  counters::LatencyStation lfb_station_;
+  std::uint64_t packets_copied_ = 0;
+  std::uint64_t lines_copied_ = 0;
+};
+
+/// The full receiver: NIC (lossy, ECN) + RX ring + copy cores + a DCTCP
+/// sender model with receive-window flow control.
+class TcpReceiver {
+ public:
+  TcpReceiver(core::HostSystem& host, const DctcpConfig& cfg);
+
+  // -- measurement ------------------------------------------------------------
+  /// Application goodput: copied payload bytes over the window (GB/s).
+  double goodput_gbps(Tick now) const;
+  /// P2M throughput: bytes the NIC DMA-wrote toward memory (GB/s).
+  double p2m_gbps(Tick now) const;
+  double loss_rate() const;        ///< dropped / offered packets
+  double mark_fraction() const;    ///< ECN-marked / accepted packets
+  double avg_cwnd() const;
+  double copy_lfb_latency_ns() const;
+  double copy_lfb_occupancy(Tick now) const;
+  const NicDevice& nic() const { return *nic_; }
+  std::vector<std::unique_ptr<CopyCore>>& copy_cores() { return copy_cores_; }
+
+ private:
+  void start();
+  void reset(Tick now);
+  void sender_pump();
+  void on_packet_delivered(Tick now);
+  void on_packet_copied();
+  void rtt_epoch();
+
+  core::HostSystem& host_;
+  DctcpConfig cfg_;
+  std::unique_ptr<NicDevice> nic_;
+  std::vector<std::unique_ptr<CopyCore>> copy_cores_;
+  std::deque<Tick> ring_;  ///< arrival time of packets awaiting copy
+
+  // Sender state.
+  double cwnd_ = 16;
+  double alpha_ = 0;
+  std::uint32_t inflight_ = 0;
+  bool wire_busy_ = false;
+  std::uint64_t epoch_acks_ = 0;
+  std::uint64_t epoch_marks_ = 0;
+  std::uint64_t epoch_drops_ = 0;
+
+  // Window counters.
+  Tick window_start_ = 0;
+  std::uint64_t packets_copied_ = 0;
+  std::uint64_t packets_offered_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_marked_ = 0;
+  std::uint64_t packets_accepted_ = 0;
+  double cwnd_sum_ = 0;
+  std::uint64_t cwnd_samples_ = 0;
+};
+
+}  // namespace hostnet::net

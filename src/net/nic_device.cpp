@@ -1,0 +1,127 @@
+#include "net/nic_device.hpp"
+
+#include <cassert>
+
+namespace hostnet::net {
+
+NicDevice::NicDevice(sim::Simulator& sim, iio::Iio& iio, const NicConfig& cfg)
+    : sim_(sim),
+      iio_(iio),
+      cfg_(cfg),
+      t_line_(serialization_ticks(kCachelineBytes, cfg.pcie_gb_per_s)),
+      t_packet_(serialization_ticks(cfg.mtu_bytes, cfg.wire_gb_per_s)) {}
+
+void NicDevice::start() {
+  if (cfg_.autonomous) schedule_arrival();
+}
+
+void NicDevice::schedule_arrival() {
+  if (arrival_scheduled_ || paused_) return;
+  arrival_scheduled_ = true;
+  sim_.schedule(t_packet_, [this] {
+    arrival_scheduled_ = false;
+    arrival();
+  });
+}
+
+void NicDevice::arrival() {
+  if (paused_) return;
+  if (buffer_bytes_ + cfg_.mtu_bytes > cfg_.rx_buffer_bytes) {
+    if (cfg_.pfc) {
+      // Threshold configuration should pause before overflow; treat an
+      // overflowing arrival as paused wire time rather than loss.
+      note_pause(sim_.now(), true);
+      return;
+    }
+    ++packets_dropped_;
+    schedule_arrival();
+    return;
+  }
+  buffer_bytes_ += cfg_.mtu_bytes;
+  bytes_accepted_ += cfg_.mtu_bytes;
+  ++packets_accepted_;
+  if (cfg_.pfc && buffer_bytes_ >= cfg_.pause_threshold) note_pause(sim_.now(), true);
+  pump();
+  schedule_arrival();
+}
+
+bool NicDevice::offer_packet(bool* ecn_marked) {
+  if (ecn_marked != nullptr) *ecn_marked = false;
+  if (buffer_bytes_ + cfg_.mtu_bytes > cfg_.rx_buffer_bytes) {
+    ++packets_dropped_;
+    return false;
+  }
+  buffer_bytes_ += cfg_.mtu_bytes;
+  bytes_accepted_ += cfg_.mtu_bytes;
+  ++packets_accepted_;
+  if (buffer_bytes_ >= cfg_.ecn_threshold) {
+    ++packets_marked_;
+    if (ecn_marked != nullptr) *ecn_marked = true;
+  }
+  pump();
+  return true;
+}
+
+void NicDevice::pump() {
+  if (link_busy_ || waiting_credit_) return;
+  if (buffer_bytes_ < kCachelineBytes) return;
+  const std::uint64_t addr =
+      cfg_.region.base + (dma_line_cursor_ % cfg_.region.lines()) * kCachelineBytes;
+  if (!iio_.try_dma(mem::Op::kWrite, addr, this, 0)) {
+    waiting_credit_ = true;
+    return;
+  }
+  buffer_bytes_ -= kCachelineBytes;
+  bytes_dma_ += kCachelineBytes;
+  ++dma_line_cursor_;
+  if (++lines_in_current_packet_ >= cfg_.mtu_bytes / kCachelineBytes) {
+    lines_in_current_packet_ = 0;
+    if (packet_delivered_) packet_delivered_(sim_.now());
+  }
+  if (paused_ && buffer_bytes_ <= cfg_.resume_threshold) {
+    note_pause(sim_.now(), false);
+    schedule_arrival();
+  }
+  link_busy_ = true;
+  sim_.schedule(t_line_, [this] {
+    link_busy_ = false;
+    pump();
+  });
+}
+
+void NicDevice::on_credit_available(mem::Op /*op*/) {
+  waiting_credit_ = false;
+  pump();
+}
+
+void NicDevice::on_read_data(std::uint64_t /*tag*/, Tick /*now*/) {
+  // RX path issues only DMA writes.
+}
+
+void NicDevice::note_pause(Tick now, bool pause) {
+  if (pause == paused_) return;
+  paused_ = pause;
+  if (pause) {
+    pause_started_ = now;
+  } else {
+    paused_time_ += now - pause_started_;
+  }
+}
+
+double NicDevice::pause_fraction(Tick now) const {
+  const Tick window = now - window_start_;
+  if (window <= 0) return 0;
+  Tick paused = paused_time_;
+  if (paused_) paused += now - pause_started_;
+  return static_cast<double>(paused) / static_cast<double>(window);
+}
+
+void NicDevice::reset_counters(Tick now) {
+  bytes_accepted_ = bytes_dma_ = 0;
+  packets_accepted_ = packets_dropped_ = packets_marked_ = 0;
+  paused_time_ = 0;
+  if (paused_) pause_started_ = now;
+  window_start_ = now;
+}
+
+}  // namespace hostnet::net

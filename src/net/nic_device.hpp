@@ -1,0 +1,107 @@
+// RDMA-capable NIC model (receive side).
+//
+// Incoming wire traffic lands in a finite on-NIC RX buffer and is drained
+// by DMA writes through the IIO (consuming IIO write-buffer credits). Two
+// loss-handling modes, matching the paper's case studies (Appendix C/D):
+//
+//   * PFC (RoCE): when the RX buffer crosses the pause threshold, the NIC
+//     sends PFC pauses upstream -- arrivals stop, nothing is lost, and the
+//     paused-time fraction is what the paper reports (22-43% in quadrant 3).
+//   * Lossy (+ ECN for DCTCP): packets arriving to a full buffer are
+//     dropped; packets are ECN-marked when the buffer exceeds the marking
+//     threshold.
+//
+// The NIC can generate its own line-rate arrivals (ib_write_bw-style), or
+// be fed packet-by-packet by a transport model (the DCTCP sender).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "iio/iio.hpp"
+#include "mem/request.hpp"
+#include "sim/simulator.hpp"
+
+namespace hostnet::net {
+
+struct NicConfig {
+  double wire_gb_per_s = 12.25;        ///< 98 Gbps effective
+  double pcie_gb_per_s = 14.0;         ///< host-side DMA bandwidth
+  std::uint32_t mtu_bytes = 4096;
+  std::uint64_t rx_buffer_bytes = 512 << 10;
+  bool autonomous = true;              ///< self-generate line-rate arrivals
+  // PFC
+  bool pfc = true;
+  std::uint64_t pause_threshold = 384 << 10;
+  std::uint64_t resume_threshold = 192 << 10;
+  // ECN (lossy mode)
+  std::uint64_t ecn_threshold = 128 << 10;
+  mem::Region region{};                ///< DMA target (RX ring buffers)
+};
+
+class NicDevice final : public iio::Device {
+ public:
+  NicDevice(sim::Simulator& sim, iio::Iio& iio, const NicConfig& cfg);
+
+  void start();
+  void reset_counters(Tick now);
+
+  /// Feed one packet from a transport model (non-autonomous mode). Returns
+  /// false if the packet was dropped (RX buffer full). `*ecn_marked` is set
+  /// when the packet was accepted above the marking threshold.
+  bool offer_packet(bool* ecn_marked);
+
+  /// Invoked when a packet has been fully DMA-written toward memory (per
+  /// accepted packet, in arrival order). Used by the DCTCP model to hand
+  /// the packet to the kernel.
+  void set_packet_delivered_cb(std::function<void(Tick)> cb) {
+    packet_delivered_ = std::move(cb);
+  }
+
+  // -- iio::Device ------------------------------------------------------------
+  void on_credit_available(mem::Op op) override;
+  void on_read_data(std::uint64_t tag, Tick now) override;
+
+  // -- measurement ------------------------------------------------------------
+  std::uint64_t bytes_accepted() const { return bytes_accepted_; }
+  std::uint64_t bytes_dma() const { return bytes_dma_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  std::uint64_t packets_accepted() const { return packets_accepted_; }
+  std::uint64_t packets_marked() const { return packets_marked_; }
+  std::uint64_t buffer_occupancy_bytes() const { return buffer_bytes_; }
+  bool paused() const { return paused_; }
+  double pause_fraction(Tick now) const;
+
+ private:
+  void arrival();
+  void schedule_arrival();
+  void pump();
+  void note_pause(Tick now, bool pause);
+
+  sim::Simulator& sim_;
+  iio::Iio& iio_;
+  NicConfig cfg_;
+  Tick t_line_;       ///< PCIe serialization per cacheline
+  Tick t_packet_;     ///< wire serialization per MTU packet
+
+  std::uint64_t buffer_bytes_ = 0;
+  std::uint64_t dma_line_cursor_ = 0;
+  std::uint64_t lines_in_current_packet_ = 0;
+  bool link_busy_ = false;
+  bool waiting_credit_ = false;
+  bool paused_ = false;
+  bool arrival_scheduled_ = false;
+
+  std::uint64_t bytes_accepted_ = 0;
+  std::uint64_t bytes_dma_ = 0;
+  std::uint64_t packets_accepted_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_marked_ = 0;
+  Tick pause_started_ = 0;
+  Tick paused_time_ = 0;
+  Tick window_start_ = 0;
+
+  std::function<void(Tick)> packet_delivered_;
+};
+
+}  // namespace hostnet::net

@@ -1,0 +1,87 @@
+#include "net/rdma.hpp"
+
+#include "workloads/workloads.hpp"
+
+namespace hostnet::net {
+
+namespace {
+
+void add_c2m_cores(core::HostSystem& host, const core::C2MSpec& spec) {
+  for (std::uint32_t i = 0; i < spec.cores; ++i) {
+    cpu::CoreWorkload wl = spec.workload;
+    if (spec.per_core_region)
+      wl.region.base += static_cast<std::uint64_t>(i) * spec.region_stride;
+    host.add_core(wl);
+  }
+}
+
+}  // namespace
+
+RdmaHost make_rdma_host(const core::HostConfig& hc,
+                        const std::optional<core::C2MSpec>& c2m,
+                        const std::optional<RdmaSpec>& rdma, std::uint64_t seed) {
+  RdmaHost r;
+  r.host = std::make_unique<core::HostSystem>(hc, seed);
+  if (c2m) add_c2m_cores(*r.host, *c2m);
+  if (rdma) {
+    if (rdma->write_traffic) {
+      NicConfig nc = rdma->nic;
+      nc.wire_gb_per_s = rdma->wire_gb_per_s;
+      nc.pcie_gb_per_s = hc.pcie_write_gb_per_s;
+      nc.autonomous = true;
+      nc.pfc = true;
+      if (nc.region.bytes == 0 || nc.region.base == 0) nc.region = workloads::p2m_region();
+      r.nic_storage = std::make_unique<NicDevice>(r.host->sim(), r.host->iio(), nc);
+      r.nic = r.nic_storage.get();
+      NicDevice* nic = r.nic;
+      r.host->attach([nic] { nic->start(); }, [nic](Tick now) { nic->reset_counters(now); });
+    } else {
+      // ib_read_bw: the NIC streams server memory out to the wire -- a
+      // line-rate sequential DMA reader.
+      iio::StorageConfig sc;
+      sc.host_op = mem::Op::kRead;
+      sc.request_bytes = 1ull << 20;
+      sc.queue_depth = 8;
+      sc.link_gb_per_s = rdma->wire_gb_per_s;
+      sc.per_request_latency = us(2);
+      sc.region = workloads::p2m_region();
+      r.host->add_storage(sc);
+    }
+  }
+  return r;
+}
+
+RdmaRunOutcome run_rdma(const core::HostConfig& hc,
+                        const std::optional<core::C2MSpec>& c2m,
+                        const std::optional<RdmaSpec>& rdma, const core::RunOptions& opt) {
+  RdmaHost rh = make_rdma_host(hc, c2m, rdma, opt.seed);
+  rh.host->run(opt.warmup, opt.measure);
+  RdmaRunOutcome out;
+  out.metrics = rh.host->collect();
+  if (c2m) {
+    const bool episodic = c2m->workload.episode_reads + c2m->workload.episode_writes > 0;
+    out.c2m_score = episodic ? out.metrics.queries_per_sec : out.metrics.c2m_app_gbps;
+  }
+  if (rdma) {
+    if (rdma->write_traffic && rh.nic != nullptr) {
+      out.p2m_score =
+          gb_per_s(rh.nic->bytes_accepted(), ns(out.metrics.window_ns));
+      out.pause_fraction = rh.nic->pause_fraction(rh.host->sim().now());
+    } else {
+      out.p2m_score = out.metrics.p2m_dev_gbps;
+    }
+  }
+  return out;
+}
+
+RdmaColocationOutcome run_rdma_colocation(const core::HostConfig& hc,
+                                          const core::C2MSpec& c2m, const RdmaSpec& rdma,
+                                          const core::RunOptions& opt) {
+  RdmaColocationOutcome o;
+  o.iso_c2m = run_rdma(hc, c2m, std::nullopt, opt);
+  o.iso_p2m = run_rdma(hc, std::nullopt, rdma, opt);
+  o.colo = run_rdma(hc, c2m, rdma, opt);
+  return o;
+}
+
+}  // namespace hostnet::net

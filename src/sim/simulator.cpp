@@ -1,0 +1,31 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace hostnet::sim {
+
+void Simulator::schedule_at(Tick at, Event fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  queue_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the event is moved out via const_cast
+  // which is safe because the entry is popped immediately after.
+  auto& top = const_cast<Entry&>(queue_.top());
+  Tick at = top.at;
+  Event fn = std::move(top.fn);
+  queue_.pop();
+  now_ = at;
+  ++executed_;
+  fn();
+  return true;
+}
+
+void Simulator::run_until(Tick until) {
+  while (!queue_.empty() && queue_.top().at <= until) step();
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace hostnet::sim

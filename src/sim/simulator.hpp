@@ -1,0 +1,65 @@
+// Discrete-event simulation kernel.
+//
+// A single Simulator owns the clock and the pending-event queue. Events are
+// ordered by (time, insertion sequence) so simulations are deterministic:
+// two events scheduled for the same tick fire in the order they were
+// scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hostnet::sim {
+
+using Event = std::function<void()>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Tick now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (must be >= now()).
+  void schedule_at(Tick at, Event fn);
+
+  /// Schedule `fn` to run `delay` ticks from now.
+  void schedule(Tick delay, Event fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Run events until the queue is empty or the clock passes `until`.
+  /// The clock is left at `until` (or at the last event if the queue dried
+  /// up earlier and `advance_clock` is true).
+  void run_until(Tick until);
+
+  /// Run the single next event; returns false when no events remain.
+  bool step();
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    Tick at;
+    std::uint64_t seq;
+    Event fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace hostnet::sim

@@ -1,0 +1,44 @@
+#include "sim/trace.hpp"
+
+namespace hostnet::sim {
+
+void Tracer::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) return;
+  // Chrome tracing JSON array format; timestamps are microseconds (double).
+  std::fputs("[\n", f);
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) std::fputs(",\n", f);
+    first = false;
+    const double ts_us = static_cast<double>(e.ts) / kMicrosecond;
+    switch (e.kind) {
+      case kSpan: {
+        const double dur_us = static_cast<double>(e.dur) / kMicrosecond;
+        std::fprintf(f,
+                     "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.6f,"
+                     "\"dur\":%.6f,\"pid\":1,\"tid\":%u}",
+                     e.name, e.cat, ts_us, dur_us, e.tid);
+        break;
+      }
+      case kInstant:
+        std::fprintf(f,
+                     "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.6f,"
+                     "\"s\":\"t\",\"pid\":1,\"tid\":%u}",
+                     e.name, e.cat, ts_us, e.tid);
+        break;
+      case kCounter:
+        std::fprintf(f,
+                     "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.6f,\"pid\":1,"
+                     "\"args\":{\"value\":%.3f}}",
+                     e.name, ts_us, e.value);
+        break;
+    }
+  }
+  std::fputs("\n]\n", f);
+  std::fclose(f);
+}
+
+}  // namespace hostnet::sim

@@ -1,0 +1,238 @@
+// Unit tests for the core (LFB) and IIO/device models, run against a real
+// CHA+MC stack (small, single-purpose scenarios).
+#include <gtest/gtest.h>
+
+#include "cha/cha.hpp"
+#include "cpu/core.hpp"
+#include "iio/iio.hpp"
+#include "iio/storage_device.hpp"
+#include "mc/memory_controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace hostnet {
+namespace {
+
+struct Stack {
+  sim::Simulator sim;
+  dram::AddressMap map{2, 32, 8192, 256, dram::BankHash::kXorHash, 8192};
+  mc::MemoryController mc;
+  cha::Cha cha;
+  iio::Iio iio;
+
+  Stack() : mc(sim, mc::ChannelConfig{}, map, nullptr), cha(sim, {}, mc), iio(sim, cha, {}) {
+    mc.set_listener(&cha);
+  }
+};
+
+TEST(Core, LfbOccupancyNeverExceedsCapacity) {
+  Stack s;
+  cpu::CoreConfig cfg;
+  cfg.lfb_entries = 10;
+  cpu::CoreWorkload wl;
+  wl.pattern = cpu::CoreWorkload::Pattern::kSequential;
+  cpu::Core core(s.sim, s.cha, cfg, wl, 0, 1);
+  core.start();
+  s.sim.run_until(us(50));
+  EXPECT_EQ(core.lfb_station().max_occupancy(), 10);
+  EXPECT_GT(core.lines_read(), 1000u);
+}
+
+TEST(Core, PrefetchExtraAppliesOnlyToSequential) {
+  Stack s;
+  cpu::CoreConfig cfg;
+  cfg.lfb_entries = 10;
+  cfg.prefetch_extra = 6;
+  cpu::CoreWorkload seq;
+  cpu::Core a(s.sim, s.cha, cfg, seq, 0, 1);
+  cpu::CoreWorkload rnd;
+  rnd.pattern = cpu::CoreWorkload::Pattern::kRandom;
+  rnd.region.base = 4ull << 30;
+  cpu::Core b(s.sim, s.cha, cfg, rnd, 1, 2);
+  a.start();
+  b.start();
+  s.sim.run_until(us(50));
+  EXPECT_EQ(a.lfb_station().max_occupancy(), 16);
+  EXPECT_EQ(b.lfb_station().max_occupancy(), 10);
+}
+
+TEST(Core, StoreWorkloadWritesBackEveryLine) {
+  Stack s;
+  cpu::CoreWorkload wl;
+  wl.write_fraction = 1.0;
+  cpu::Core core(s.sim, s.cha, {}, wl, 0, 1);
+  core.start();
+  s.sim.run_until(us(50));
+  EXPECT_GT(core.lines_read(), 500u);
+  // Every RFO read is followed by a write-back; allow in-flight slack.
+  EXPECT_NEAR(static_cast<double>(core.lines_written()),
+              static_cast<double>(core.lines_read()), 16.0);
+  EXPECT_GT(core.write_station().completions(), 0u);
+  EXPECT_NEAR(core.write_station().mean_latency_ns(), 10.0, 3.0);
+}
+
+TEST(Core, ThinkTimeThrottlesIssueRate) {
+  Stack s;
+  cpu::CoreWorkload fast;
+  cpu::CoreWorkload slow = fast;
+  slow.think = ns(50);
+  slow.region.base = 8ull << 30;
+  cpu::Core a(s.sim, s.cha, {}, fast, 0, 1);
+  cpu::Core b(s.sim, s.cha, {}, slow, 1, 2);
+  a.start();
+  b.start();
+  s.sim.run_until(us(100));
+  // ~one access per 50 ns -> ~20 lines/us; the unthrottled core does many more.
+  EXPECT_LT(b.lines_read(), 100u * 25);
+  EXPECT_GT(a.lines_read(), b.lines_read() * 3);
+}
+
+TEST(Core, EpisodicWorkloadCountsQueries) {
+  Stack s;
+  cpu::CoreWorkload wl;
+  wl.pattern = cpu::CoreWorkload::Pattern::kRandom;
+  wl.episode_reads = 4;
+  wl.episodes_per_query = 3;
+  wl.episode_compute = ns(100);
+  cpu::Core core(s.sim, s.cha, {}, wl, 0, 1);
+  core.start();
+  s.sim.run_until(us(100));
+  EXPECT_GT(core.queries(), 50u);
+  // Each query = 3 episodes x 4 reads.
+  EXPECT_NEAR(static_cast<double>(core.lines_read()),
+              static_cast<double>(core.queries()) * 12.0, 13.0);
+}
+
+TEST(Core, ResetClearsWindowCounters) {
+  Stack s;
+  cpu::CoreWorkload wl;
+  cpu::Core core(s.sim, s.cha, {}, wl, 0, 1);
+  core.start();
+  s.sim.run_until(us(10));
+  core.reset_counters(s.sim.now());
+  EXPECT_EQ(core.lines_read(), 0u);
+  s.sim.run_until(us(20));
+  EXPECT_GT(core.lines_read(), 0u);
+}
+
+TEST(Iio, WriteCreditsBoundInFlight) {
+  Stack s;
+  iio::StorageConfig sc;
+  sc.host_op = mem::Op::kWrite;
+  sc.link_gb_per_s = 64.0;  // faster than the IIO can drain: credits bind
+  sc.region.base = 64ull << 30;
+  iio::StorageDevice dev(s.sim, s.iio, sc);
+  dev.start();
+  s.sim.run_until(us(100));
+  EXPECT_LE(s.iio.write_station().max_occupancy(), 92);
+  EXPECT_GE(s.iio.write_station().max_occupancy(), 80);
+  EXPECT_GT(dev.bytes_transferred(), 0u);
+}
+
+TEST(Iio, ReadCreditsBoundInFlight) {
+  Stack s;
+  iio::StorageConfig sc;
+  sc.host_op = mem::Op::kRead;
+  sc.link_gb_per_s = 64.0;
+  sc.region.base = 64ull << 30;
+  iio::StorageDevice dev(s.sim, s.iio, sc);
+  dev.start();
+  s.sim.run_until(us(100));
+  EXPECT_LE(s.iio.read_station().max_occupancy(), 192);
+  EXPECT_GT(dev.bytes_transferred(), 0u);
+}
+
+TEST(Iio, UnloadedWriteLatencyNearCalibration) {
+  Stack s;
+  iio::StorageConfig sc;
+  sc.host_op = mem::Op::kWrite;
+  sc.request_bytes = 4096;
+  sc.queue_depth = 1;
+  sc.per_request_latency = us(8);
+  sc.region.base = 64ull << 30;
+  iio::StorageDevice dev(s.sim, s.iio, sc);
+  dev.start();
+  s.sim.run_until(ms(1));
+  EXPECT_NEAR(s.iio.write_station().mean_latency_ns(), 300.0, 15.0);
+}
+
+TEST(StorageDevice, LinkPacesThroughput) {
+  Stack s;
+  iio::StorageConfig sc;
+  sc.host_op = mem::Op::kWrite;
+  sc.link_gb_per_s = 14.0;
+  sc.region.base = 64ull << 30;
+  iio::StorageDevice dev(s.sim, s.iio, sc);
+  dev.start();
+  const Tick t0 = us(100);
+  s.sim.run_until(t0);
+  const auto b0 = dev.bytes_transferred();
+  s.sim.run_until(t0 + ms(1));
+  EXPECT_NEAR(gb_per_s(dev.bytes_transferred() - b0, ms(1)), 14.0, 0.5);
+}
+
+TEST(StorageDevice, CompletesRequestsAndCountsIops) {
+  Stack s;
+  iio::StorageConfig sc;
+  sc.host_op = mem::Op::kWrite;
+  sc.request_bytes = 64 << 10;
+  sc.queue_depth = 2;
+  sc.per_request_latency = us(5);
+  sc.region.base = 64ull << 30;
+  iio::StorageDevice dev(s.sim, s.iio, sc);
+  dev.start();
+  s.sim.run_until(ms(1));
+  EXPECT_GT(dev.requests_completed(), 50u);
+  // Bytes ~ requests x request size (in-flight slack allowed).
+  EXPECT_NEAR(static_cast<double>(dev.bytes_transferred()),
+              static_cast<double>(dev.requests_completed()) * (64 << 10),
+              2.0 * (64 << 10));
+}
+
+TEST(StorageDevice, MixedRequestsSplitTraffic) {
+  // mixed_fraction flips a fraction of requests to the opposite op: both
+  // read and write DMA traffic must appear at the IIO.
+  Stack s;
+  iio::StorageConfig sc;
+  sc.host_op = mem::Op::kWrite;
+  sc.mixed_fraction = 0.5;
+  sc.request_bytes = 16 << 10;
+  sc.queue_depth = 4;
+  sc.per_request_latency = us(2);
+  sc.region.base = 64ull << 30;
+  iio::StorageDevice dev(s.sim, s.iio, sc);
+  dev.start();
+  s.sim.run_until(ms(1));
+  EXPECT_GT(s.iio.write_station().completions(), 100u);
+  EXPECT_GT(s.iio.read_station().completions(), 100u);
+  const double wr = static_cast<double>(s.iio.write_station().completions());
+  const double rd = static_cast<double>(s.iio.read_station().completions());
+  EXPECT_NEAR(wr / (wr + rd), 0.5, 0.15);
+}
+
+TEST(StorageDevice, PureModeUnaffectedByMixedDefault) {
+  Stack s;
+  iio::StorageConfig sc;
+  sc.host_op = mem::Op::kWrite;
+  sc.region.base = 64ull << 30;
+  iio::StorageDevice dev(s.sim, s.iio, sc);
+  dev.start();
+  s.sim.run_until(us(500));
+  EXPECT_EQ(s.iio.read_station().completions(), 0u);
+}
+
+TEST(StorageDevice, ReadRequestsRoundTrip) {
+  Stack s;
+  iio::StorageConfig sc;
+  sc.host_op = mem::Op::kRead;
+  sc.request_bytes = 16 << 10;
+  sc.queue_depth = 2;
+  sc.per_request_latency = us(2);
+  sc.region.base = 64ull << 30;
+  iio::StorageDevice dev(s.sim, s.iio, sc);
+  dev.start();
+  s.sim.run_until(ms(1));
+  EXPECT_GT(dev.requests_completed(), 20u);
+}
+
+}  // namespace
+}  // namespace hostnet

@@ -1,0 +1,78 @@
+// Unit tests for the event-driven simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hostnet::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulator, SameTickFifoOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) s.schedule_at(5, [&order, i] { order.push_back(i); });
+  s.run_until(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, RelativeScheduleUsesNow) {
+  Simulator s;
+  Tick fired_at = -1;
+  s.schedule_at(100, [&] { s.schedule(50, [&] { fired_at = s.now(); }); });
+  s.run_until(1000);
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(10, [&] { ++fired; });
+  s.schedule_at(20, [&] { ++fired; });
+  s.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 15);
+  s.run_until(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) s.schedule(1, chain);
+  };
+  s.schedule_at(0, chain);
+  s.run_until(1000);
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.events_executed(), 100u);
+}
+
+TEST(Simulator, BoundaryEventIncluded) {
+  Simulator s;
+  bool fired = false;
+  s.schedule_at(10, [&] { fired = true; });
+  s.run_until(10);
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace hostnet::sim

@@ -1,0 +1,123 @@
+// Tests for the workload zoo: parameterization, address-space layout, and
+// the traffic signatures each model must produce.
+#include <gtest/gtest.h>
+
+#include "core/host_system.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hostnet::workloads {
+namespace {
+
+TEST(Workloads, RegionsAreDisjoint) {
+  // Core regions, the shared graph region, and the P2M region must never
+  // overlap (distinct address spaces are part of the experimental design).
+  struct R {
+    mem::Region r;
+  };
+  std::vector<mem::Region> regions;
+  for (std::uint32_t i = 0; i < 32; ++i) regions.push_back(c2m_core_region(i));
+  regions.push_back(c2m_shared_region());
+  regions.push_back(p2m_region());
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      const bool overlap = regions[i].base < regions[j].base + regions[j].bytes &&
+                           regions[j].base < regions[i].base + regions[i].bytes;
+      EXPECT_FALSE(overlap) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Workloads, StreamSpecs) {
+  const auto r = c2m_read(c2m_core_region(0));
+  EXPECT_EQ(r.pattern, cpu::CoreWorkload::Pattern::kSequential);
+  EXPECT_EQ(r.write_fraction, 0.0);
+  const auto w = c2m_read_write(c2m_core_region(0));
+  EXPECT_EQ(w.write_fraction, 1.0);
+}
+
+TEST(Workloads, FioSpecsFollowHostPcie) {
+  const auto cl = core::cascade_lake();
+  const auto il = core::ice_lake();
+  EXPECT_DOUBLE_EQ(fio_p2m_write(cl, p2m_region()).link_gb_per_s, cl.pcie_write_gb_per_s);
+  EXPECT_DOUBLE_EQ(fio_p2m_write(il, p2m_region()).link_gb_per_s, il.pcie_write_gb_per_s);
+  EXPECT_EQ(fio_p2m_write(cl, p2m_region()).host_op, mem::Op::kWrite);
+  EXPECT_EQ(fio_p2m_read(cl, p2m_region()).host_op, mem::Op::kRead);
+  EXPECT_EQ(fio_4k_qd1(cl, p2m_region()).queue_depth, 1u);
+  EXPECT_EQ(fio_4k_qd1(cl, p2m_region()).request_bytes, 4096u);
+}
+
+// Traffic-signature checks: run each app model briefly and verify its
+// read/write mix matches the paper's characterization.
+struct MixResult {
+  double read_gbps;
+  double write_gbps;
+  double write_share;
+};
+
+MixResult measure_mix(const cpu::CoreWorkload& wl) {
+  const auto hc = core::cascade_lake();
+  core::HostSystem host(hc);
+  host.add_core(wl);
+  host.run(us(100), us(400));
+  const auto m = host.collect();
+  MixResult r{m.mem_gbps[0], m.mem_gbps[1], 0};
+  const double total = r.read_gbps + r.write_gbps;
+  r.write_share = total > 0 ? r.write_gbps / total : 0;
+  return r;
+}
+
+TEST(Workloads, C2MReadIsReadOnly) {
+  const auto r = measure_mix(c2m_read(c2m_core_region(0)));
+  EXPECT_GT(r.read_gbps, 5.0);
+  EXPECT_NEAR(r.write_share, 0.0, 0.01);
+}
+
+TEST(Workloads, C2MReadWriteIsHalfWrites) {
+  // STREAM-store: every line is RFO-read then written back -> 50/50.
+  const auto r = measure_mix(c2m_read_write(c2m_core_region(0)));
+  EXPECT_NEAR(r.write_share, 0.5, 0.03);
+}
+
+TEST(Workloads, GapbsBcIsRoughly80_20) {
+  const auto r = measure_mix(gapbs_bc(c2m_shared_region()));
+  EXPECT_NEAR(r.write_share, 0.20, 0.04);
+}
+
+TEST(Workloads, GapbsBcLessMemoryIntensiveThanPr) {
+  // The paper: BC is more compute-intensive, lower bandwidth per core.
+  const auto bc = measure_mix(gapbs_bc(c2m_shared_region()));
+  const auto pr = measure_mix(gapbs_pr(c2m_shared_region()));
+  EXPECT_LT(bc.read_gbps + bc.write_gbps, 0.8 * (pr.read_gbps + pr.write_gbps));
+}
+
+TEST(Workloads, RedisWriteMoreMemoryIntensiveThanRead) {
+  const auto rd = measure_mix(redis_read(c2m_core_region(0)));
+  const auto wr = measure_mix(redis_write(c2m_core_region(0)));
+  EXPECT_GT(wr.read_gbps + wr.write_gbps, rd.read_gbps + rd.write_gbps);
+  EXPECT_GT(wr.write_share, 0.3);
+  EXPECT_NEAR(rd.write_share, 0.0, 0.01);
+}
+
+TEST(Workloads, RedisIsPartiallyComputeBound) {
+  // Redis spends only part of its time stalled on memory: per-core
+  // bandwidth far below the LFB-limited streaming bound.
+  const auto r = measure_mix(redis_read(c2m_core_region(0)));
+  EXPECT_LT(r.read_gbps, 4.0);
+  EXPECT_GT(r.read_gbps, 0.5);
+}
+
+TEST(Workloads, QueriesScaleWithCores) {
+  const auto hc = core::cascade_lake();
+  auto qps = [&](std::uint32_t cores) {
+    core::HostSystem host(hc);
+    for (std::uint32_t i = 0; i < cores; ++i) host.add_core(redis_read(c2m_core_region(i)));
+    host.run(us(100), us(400));
+    return host.collect().queries_per_sec;
+  };
+  const double one = qps(1);
+  const double four = qps(4);
+  EXPECT_NEAR(four / one, 4.0, 0.5);  // near-linear at low load
+}
+
+}  // namespace
+}  // namespace hostnet::workloads
