@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_credits.dir/bench_ablation_credits.cpp.o"
+  "CMakeFiles/bench_ablation_credits.dir/bench_ablation_credits.cpp.o.d"
+  "bench_ablation_credits"
+  "bench_ablation_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

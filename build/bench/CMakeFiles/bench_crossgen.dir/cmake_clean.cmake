@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossgen.dir/bench_crossgen.cpp.o"
+  "CMakeFiles/bench_crossgen.dir/bench_crossgen.cpp.o.d"
+  "bench_crossgen"
+  "bench_crossgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

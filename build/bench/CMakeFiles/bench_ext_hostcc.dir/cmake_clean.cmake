@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hostcc.dir/bench_ext_hostcc.cpp.o"
+  "CMakeFiles/bench_ext_hostcc.dir/bench_ext_hostcc.cpp.o.d"
+  "bench_ext_hostcc"
+  "bench_ext_hostcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hostcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

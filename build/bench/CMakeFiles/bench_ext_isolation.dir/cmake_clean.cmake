@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_isolation.dir/bench_ext_isolation.cpp.o"
+  "CMakeFiles/bench_ext_isolation.dir/bench_ext_isolation.cpp.o.d"
+  "bench_ext_isolation"
+  "bench_ext_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

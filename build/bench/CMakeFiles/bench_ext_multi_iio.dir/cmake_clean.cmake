@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_iio.dir/bench_ext_multi_iio.cpp.o"
+  "CMakeFiles/bench_ext_multi_iio.dir/bench_ext_multi_iio.cpp.o.d"
+  "bench_ext_multi_iio"
+  "bench_ext_multi_iio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_iio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_apps_icelake.dir/bench_fig01_apps_icelake.cpp.o"
+  "CMakeFiles/bench_fig01_apps_icelake.dir/bench_fig01_apps_icelake.cpp.o.d"
+  "bench_fig01_apps_icelake"
+  "bench_fig01_apps_icelake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_apps_icelake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_ddio.dir/bench_fig02_ddio.cpp.o"
+  "CMakeFiles/bench_fig02_ddio.dir/bench_fig02_ddio.cpp.o.d"
+  "bench_fig02_ddio"
+  "bench_fig02_ddio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_ddio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

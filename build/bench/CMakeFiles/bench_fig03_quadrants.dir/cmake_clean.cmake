@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_quadrants.dir/bench_fig03_quadrants.cpp.o"
+  "CMakeFiles/bench_fig03_quadrants.dir/bench_fig03_quadrants.cpp.o.d"
+  "bench_fig03_quadrants"
+  "bench_fig03_quadrants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_quadrants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_domain_evidence.dir/bench_fig06_domain_evidence.cpp.o"
+  "CMakeFiles/bench_fig06_domain_evidence.dir/bench_fig06_domain_evidence.cpp.o.d"
+  "bench_fig06_domain_evidence"
+  "bench_fig06_domain_evidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_domain_evidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

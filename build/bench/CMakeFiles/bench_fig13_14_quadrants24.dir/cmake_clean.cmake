@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_14_quadrants24.dir/bench_fig13_14_quadrants24.cpp.o"
+  "CMakeFiles/bench_fig13_14_quadrants24.dir/bench_fig13_14_quadrants24.cpp.o.d"
+  "bench_fig13_14_quadrants24"
+  "bench_fig13_14_quadrants24.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_quadrants24.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_17_apps_rw.dir/bench_fig15_17_apps_rw.cpp.o"
+  "CMakeFiles/bench_fig15_17_apps_rw.dir/bench_fig15_17_apps_rw.cpp.o.d"
+  "bench_fig15_17_apps_rw"
+  "bench_fig15_17_apps_rw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_17_apps_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_rdma_quadrants.dir/bench_fig18_rdma_quadrants.cpp.o"
+  "CMakeFiles/bench_fig18_rdma_quadrants.dir/bench_fig18_rdma_quadrants.cpp.o.d"
+  "bench_fig18_rdma_quadrants"
+  "bench_fig18_rdma_quadrants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_rdma_quadrants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_tcp.dir/bench_fig19_tcp.cpp.o"
+  "CMakeFiles/bench_fig19_tcp.dir/bench_fig19_tcp.cpp.o.d"
+  "bench_fig19_tcp"
+  "bench_fig19_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig20_24_rdma_rootcause.
+# This may be replaced when dependencies are built.

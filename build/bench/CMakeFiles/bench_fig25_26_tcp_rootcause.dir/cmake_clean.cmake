@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_26_tcp_rootcause.dir/bench_fig25_26_tcp_rootcause.cpp.o"
+  "CMakeFiles/bench_fig25_26_tcp_rootcause.dir/bench_fig25_26_tcp_rootcause.cpp.o.d"
+  "bench_fig25_26_tcp_rootcause"
+  "bench_fig25_26_tcp_rootcause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_26_tcp_rootcause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig27_28_rdma_formula.dir/bench_fig27_28_rdma_formula.cpp.o"
+  "CMakeFiles/bench_fig27_28_rdma_formula.dir/bench_fig27_28_rdma_formula.cpp.o.d"
+  "bench_fig27_28_rdma_formula"
+  "bench_fig27_28_rdma_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27_28_rdma_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

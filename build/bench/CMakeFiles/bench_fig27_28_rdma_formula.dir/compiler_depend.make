@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig27_28_rdma_formula.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig27_28_rdma_formula.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig29_30_tcp_formula.dir/bench_fig29_30_tcp_formula.cpp.o"
+  "CMakeFiles/bench_fig29_30_tcp_formula.dir/bench_fig29_30_tcp_formula.cpp.o.d"
+  "bench_fig29_30_tcp_formula"
+  "bench_fig29_30_tcp_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig29_30_tcp_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig29_30_tcp_formula.
+# This may be replaced when dependencies are built.

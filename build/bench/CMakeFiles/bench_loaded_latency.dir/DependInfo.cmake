@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_loaded_latency.cpp" "bench/CMakeFiles/bench_loaded_latency.dir/bench_loaded_latency.cpp.o" "gcc" "bench/CMakeFiles/bench_loaded_latency.dir/bench_loaded_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hostnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_hostcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_iio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_cha.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

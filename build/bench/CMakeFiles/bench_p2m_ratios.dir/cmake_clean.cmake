@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p2m_ratios.dir/bench_p2m_ratios.cpp.o"
+  "CMakeFiles/bench_p2m_ratios.dir/bench_p2m_ratios.cpp.o.d"
+  "bench_p2m_ratios"
+  "bench_p2m_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p2m_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_p2m_ratios.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_calibration.dir/bench_table1_calibration.cpp.o"
+  "CMakeFiles/bench_table1_calibration.dir/bench_table1_calibration.cpp.o.d"
+  "bench_table1_calibration"
+  "bench_table1_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

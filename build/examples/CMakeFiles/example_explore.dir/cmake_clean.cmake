@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_explore.dir/explore.cpp.o"
+  "CMakeFiles/example_explore.dir/explore.cpp.o.d"
+  "explore"
+  "explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_netapp_rx.dir/netapp_rx.cpp.o"
+  "CMakeFiles/example_netapp_rx.dir/netapp_rx.cpp.o.d"
+  "netapp_rx"
+  "netapp_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_netapp_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostnet_analytic.dir/analytic/formula.cpp.o"
+  "CMakeFiles/hostnet_analytic.dir/analytic/formula.cpp.o.d"
+  "CMakeFiles/hostnet_analytic.dir/analytic/predictor.cpp.o"
+  "CMakeFiles/hostnet_analytic.dir/analytic/predictor.cpp.o.d"
+  "libhostnet_analytic.a"
+  "libhostnet_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostnet_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostnet_cha.dir/cha/cha.cpp.o"
+  "CMakeFiles/hostnet_cha.dir/cha/cha.cpp.o.d"
+  "libhostnet_cha.a"
+  "libhostnet_cha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostnet_cha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

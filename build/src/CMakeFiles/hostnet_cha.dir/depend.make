@@ -1,0 +1,2 @@
+# Empty dependencies file for hostnet_cha.
+# This may be replaced when dependencies are built.

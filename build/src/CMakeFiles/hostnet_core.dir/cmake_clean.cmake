@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostnet_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/hostnet_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/hostnet_core.dir/core/host_system.cpp.o"
+  "CMakeFiles/hostnet_core.dir/core/host_system.cpp.o.d"
+  "libhostnet_core.a"
+  "libhostnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

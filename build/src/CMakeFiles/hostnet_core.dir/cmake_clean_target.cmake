@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhostnet_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostnet_cpu.dir/cpu/core.cpp.o"
+  "CMakeFiles/hostnet_cpu.dir/cpu/core.cpp.o.d"
+  "libhostnet_cpu.a"
+  "libhostnet_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostnet_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

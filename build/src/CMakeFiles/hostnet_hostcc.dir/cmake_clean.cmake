@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostnet_hostcc.dir/hostcc/hostcc.cpp.o"
+  "CMakeFiles/hostnet_hostcc.dir/hostcc/hostcc.cpp.o.d"
+  "libhostnet_hostcc.a"
+  "libhostnet_hostcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostnet_hostcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostnet_iio.dir/iio/iio.cpp.o"
+  "CMakeFiles/hostnet_iio.dir/iio/iio.cpp.o.d"
+  "CMakeFiles/hostnet_iio.dir/iio/storage_device.cpp.o"
+  "CMakeFiles/hostnet_iio.dir/iio/storage_device.cpp.o.d"
+  "libhostnet_iio.a"
+  "libhostnet_iio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostnet_iio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

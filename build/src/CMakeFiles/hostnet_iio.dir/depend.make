@@ -1,0 +1,2 @@
+# Empty dependencies file for hostnet_iio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostnet_mc.dir/mc/channel.cpp.o"
+  "CMakeFiles/hostnet_mc.dir/mc/channel.cpp.o.d"
+  "libhostnet_mc.a"
+  "libhostnet_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostnet_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

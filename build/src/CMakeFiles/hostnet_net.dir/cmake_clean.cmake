@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostnet_net.dir/net/dctcp.cpp.o"
+  "CMakeFiles/hostnet_net.dir/net/dctcp.cpp.o.d"
+  "CMakeFiles/hostnet_net.dir/net/nic_device.cpp.o"
+  "CMakeFiles/hostnet_net.dir/net/nic_device.cpp.o.d"
+  "CMakeFiles/hostnet_net.dir/net/rdma.cpp.o"
+  "CMakeFiles/hostnet_net.dir/net/rdma.cpp.o.d"
+  "libhostnet_net.a"
+  "libhostnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostnet_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/hostnet_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/hostnet_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/hostnet_sim.dir/sim/trace.cpp.o.d"
+  "libhostnet_sim.a"
+  "libhostnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

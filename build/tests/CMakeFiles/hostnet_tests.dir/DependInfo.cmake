@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_analytic.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_analytic.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_cha.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_cha.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_cha.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_conservation.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_conservation.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_conservation.cpp.o.d"
+  "/root/repo/tests/test_counters.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_counters.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_counters.cpp.o.d"
+  "/root/repo/tests/test_cpu_iio.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_cpu_iio.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_cpu_iio.cpp.o.d"
+  "/root/repo/tests/test_dram.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_dram.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_dram.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_host_system.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_host_system.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_host_system.cpp.o.d"
+  "/root/repo/tests/test_mc.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_mc.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_mc.cpp.o.d"
+  "/root/repo/tests/test_mc_property.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_mc_property.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_mc_property.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_net_property.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_net_property.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_net_property.cpp.o.d"
+  "/root/repo/tests/test_regimes.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_regimes.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_regimes.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/hostnet_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/hostnet_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hostnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_hostcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_iio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_cha.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hostnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
