@@ -25,13 +25,23 @@ void run_quadrant(const char* title, const core::HostConfig& host, bool c2m_writ
   core::P2MSpec p2m;
   p2m.storage = workloads::fio_p2m_read(host, workloads::p2m_region());
 
+  // Two measurement windows (iso, colo) per core count, all independent --
+  // run them as one batch on the parallel sweep engine.
+  std::vector<core::WorkloadPoint> points;
+  for (auto n : cores) {
+    c2m.cores = n;
+    points.push_back({host, c2m, std::nullopt});
+    points.push_back({host, c2m, p2m});
+  }
+  const auto results = core::run_workload_points(points, opt);
+
   banner(title);
   Table t({"C2M cores", "LFB iso (ns)", "LFB colo (ns)", "RPQ iso", "RPQ colo",
            "rowmiss iso", "rowmiss colo", "P2M rd inflight@CHA (max)", "P2M GB/s"});
-  for (auto n : cores) {
-    c2m.cores = n;
-    const auto iso = core::run_workloads(host, c2m, std::nullopt, opt).metrics;
-    const auto colo = core::run_workloads(host, c2m, p2m, opt).metrics;
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    const auto n = cores[i];
+    const auto& iso = results[2 * i].metrics;
+    const auto& colo = results[2 * i + 1].metrics;
     t.row({std::to_string(n), Table::num(iso.lfb_latency_ns, 1),
            Table::num(colo.lfb_latency_ns, 1), Table::num(iso.avg_rpq_occupancy, 1),
            Table::num(colo.avg_rpq_occupancy, 1), Table::pct(iso.row_miss_ratio_read * 100),

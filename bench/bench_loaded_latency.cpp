@@ -4,10 +4,13 @@
 // simulator. This is the per-request view of the blue regime: the latency
 // a latency-critical app sees grows with peripheral load long before
 // bandwidth saturates.
+#include <array>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/parallel.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace hostnet;
@@ -34,7 +37,15 @@ int main() {
 
   banner("Loaded latency: pointer chase vs P2M-Write load (Cascade Lake)");
   Table t({"P2M load (GB/s)", "chase latency (ns)", "p99 (ns)", "mem util"});
-  for (double load : {0.0, 2.0, 4.0, 7.0, 10.0, 14.0}) {
+  // Each load point owns its HostSystem, so the curve is embarrassingly
+  // parallel: run the points on the sweep worker pool and print in order.
+  const std::array<double, 6> loads{0.0, 2.0, 4.0, 7.0, 10.0, 14.0};
+  struct Row {
+    double latency_ns, p99_ns, util;
+  };
+  std::vector<Row> rows(loads.size());
+  core::run_parallel(loads.size(), [&](std::size_t i) {
+    const double load = loads[i];
     core::HostSystem h(host);
     h.add_core(latency_probe(workloads::c2m_core_region(0)));
     if (load > 0) {
@@ -45,10 +56,12 @@ int main() {
     h.run(opt.warmup, opt.measure);
     auto m = h.collect();
     const auto& hist = h.cores().front()->lfb_station().histogram();
-    t.row({Table::num(load, 0), Table::num(m.lfb_latency_ns, 1),
-           Table::num(hist.p99(), 0),
-           Table::pct(m.total_mem_gbps() / host.dram_peak_gb_per_s() * 100)});
-  }
+    rows[i] = {m.lfb_latency_ns, hist.p99(),
+               m.total_mem_gbps() / host.dram_peak_gb_per_s() * 100};
+  });
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    t.row({Table::num(loads[i], 0), Table::num(rows[i].latency_ns, 1),
+           Table::num(rows[i].p99_ns, 0), Table::pct(rows[i].util)});
   t.print();
   std::printf("\nA dependent chase has no credits to spare (MLP = 1), so every\n"
               "nanosecond of MC queueing lands on the application -- even at\n"

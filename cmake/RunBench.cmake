@@ -1,0 +1,25 @@
+# Runs a google-benchmark binary and writes its results as JSON, for
+# machine-readable perf tracking across PRs. Invoked by the `perf`-labelled
+# CTest entries (see bench/CMakeLists.txt):
+#
+#   ctest -R bench_sim_perf_json
+#
+# Expects: BENCH_BIN (benchmark executable), OUT_JSON (output path), and
+# optionally MIN_TIME (per-benchmark min running time, seconds).
+if(NOT DEFINED BENCH_BIN OR NOT DEFINED OUT_JSON)
+  message(FATAL_ERROR "RunBench.cmake needs -DBENCH_BIN=... and -DOUT_JSON=...")
+endif()
+if(NOT DEFINED MIN_TIME)
+  set(MIN_TIME 0.1)
+endif()
+
+execute_process(
+  COMMAND ${BENCH_BIN}
+          --benchmark_out=${OUT_JSON}
+          --benchmark_out_format=json
+          --benchmark_min_time=${MIN_TIME}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH_BIN} failed with exit code ${rc}")
+endif()
+message(STATUS "benchmark results written to ${OUT_JSON}")

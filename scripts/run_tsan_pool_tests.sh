@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the test suite with ThreadSanitizer and runs the parallel sweep
+# engine tests (worker pool + parallel experiment sweeps). Guards the
+# threading model documented in DESIGN.md: one HostSystem per job, no shared
+# mutable state between workers.
+#
+# Usage: scripts/run_tsan_pool_tests.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-tsan"}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DHOSTNET_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${build_dir}" --target hostnet_tests -j "$(nproc)"
+
+# TSan halts on the first data race so a regression fails the run loudly.
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "${build_dir}" --output-on-failure -R 'RunParallel|ParallelSweep'

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "core/parallel.hpp"
+
 namespace hostnet::core {
 
 RunOptions default_run_options() {
@@ -49,6 +51,65 @@ ColocationOutcome run_colocation(const HostConfig& host, const C2MSpec& c2m,
   o.iso_p2m = run_workloads(host, std::nullopt, p2m, opt);
   o.colo = run_workloads(host, c2m, p2m, opt);
   return o;
+}
+
+std::vector<RunOutcome> run_workload_points(const std::vector<WorkloadPoint>& points,
+                                            const RunOptions& opt, unsigned nthreads) {
+  std::vector<RunOutcome> out(points.size());
+  run_parallel(
+      points.size(),
+      [&](std::size_t i) {
+        const WorkloadPoint& p = points[i];
+        out[i] = run_workloads(p.host, p.c2m, p.p2m, opt);
+      },
+      nthreads);
+  return out;
+}
+
+std::vector<ColocationOutcome> run_colocation_points(const std::vector<ColocationPoint>& points,
+                                                     const RunOptions& opt, unsigned nthreads) {
+  std::vector<ColocationOutcome> out(points.size());
+  run_parallel(
+      points.size() * 3,
+      [&](std::size_t job) {
+        const ColocationPoint& p = points[job / 3];
+        ColocationOutcome& o = out[job / 3];
+        switch (job % 3) {
+          case 0: o.iso_c2m = run_workloads(p.host, p.c2m, std::nullopt, opt); break;
+          case 1: o.iso_p2m = run_workloads(p.host, std::nullopt, p.p2m, opt); break;
+          default: o.colo = run_workloads(p.host, p.c2m, p.p2m, opt); break;
+        }
+      },
+      nthreads);
+  return out;
+}
+
+std::vector<ColocationOutcome> sweep_c2m_cores_parallel(const HostConfig& host, C2MSpec c2m,
+                                                        const P2MSpec& p2m,
+                                                        const std::vector<std::uint32_t>& cores,
+                                                        const RunOptions& opt, unsigned nthreads) {
+  std::vector<ColocationOutcome> out(cores.size());
+  RunOutcome iso_p2m;
+  // Job 0 measures the shared iso_p2m window; jobs 2i+1 / 2i+2 measure point
+  // i's iso-C2M and colocated windows.
+  run_parallel(
+      cores.size() * 2 + 1,
+      [&](std::size_t job) {
+        if (job == 0) {
+          iso_p2m = run_workloads(host, std::nullopt, p2m, opt);
+          return;
+        }
+        C2MSpec spec = c2m;
+        spec.cores = cores[(job - 1) / 2];
+        ColocationOutcome& o = out[(job - 1) / 2];
+        if (job % 2 == 1)
+          o.iso_c2m = run_workloads(host, spec, std::nullopt, opt);
+        else
+          o.colo = run_workloads(host, spec, p2m, opt);
+      },
+      nthreads);
+  for (auto& o : out) o.iso_p2m = iso_p2m;
+  return out;
 }
 
 std::vector<ColocationOutcome> sweep_c2m_cores(const HostConfig& host, C2MSpec c2m,

@@ -81,4 +81,45 @@ std::vector<ColocationOutcome> sweep_c2m_cores(const HostConfig& host, C2MSpec c
                                                const std::vector<std::uint32_t>& cores,
                                                const RunOptions& opt);
 
+// -- parallel sweep engine ---------------------------------------------------
+//
+// Every sweep point builds its own HostSystem from the same (config, seed)
+// inputs as the serial path and shares no mutable state with other points,
+// so the parallel variants below return results bit-identical to running the
+// same points serially, in input order. Worker count: explicit `nthreads`,
+// else the HOSTNET_THREADS environment override, else hardware concurrency
+// (see core/parallel.hpp).
+
+/// One (host, workload) configuration of a batched run_workloads sweep.
+struct WorkloadPoint {
+  HostConfig host;
+  std::optional<C2MSpec> c2m;
+  std::optional<P2MSpec> p2m;
+};
+
+/// Parallel map of run_workloads over `points`; results in input order.
+std::vector<RunOutcome> run_workload_points(const std::vector<WorkloadPoint>& points,
+                                            const RunOptions& opt, unsigned nthreads = 0);
+
+/// One colocation configuration (the unit of a multi-point sweep).
+struct ColocationPoint {
+  HostConfig host;
+  C2MSpec c2m;
+  P2MSpec p2m;
+};
+
+/// Parallel variant of run_colocation over many points. Each point expands
+/// to its three measurement windows (iso C2M, iso P2M, colocated), which are
+/// scheduled as independent jobs for load balancing.
+std::vector<ColocationOutcome> run_colocation_points(const std::vector<ColocationPoint>& points,
+                                                     const RunOptions& opt, unsigned nthreads = 0);
+
+/// Parallel variant of sweep_c2m_cores: identical protocol (iso_p2m is
+/// measured once and shared across points) and bit-identical results.
+std::vector<ColocationOutcome> sweep_c2m_cores_parallel(const HostConfig& host, C2MSpec c2m,
+                                                        const P2MSpec& p2m,
+                                                        const std::vector<std::uint32_t>& cores,
+                                                        const RunOptions& opt,
+                                                        unsigned nthreads = 0);
+
 }  // namespace hostnet::core

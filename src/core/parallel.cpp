@@ -1,0 +1,60 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hostnet::core {
+
+unsigned parallel_threads() {
+  if (const char* e = std::getenv("HOSTNET_THREADS")) {
+    const long v = std::atol(e);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+void run_parallel(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned nthreads) {
+  if (count == 0) return;
+  if (nthreads == 0) nthreads = parallel_threads();
+  if (nthreads > count) nthreads = static_cast<unsigned>(count);
+  if (nthreads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex err_mu;
+  std::exception_ptr err;
+
+  const auto worker = [&] {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(err_mu);
+          if (!err) err = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads - 1);
+  for (unsigned t = 1; t < nthreads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace hostnet::core

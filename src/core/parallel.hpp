@@ -1,0 +1,34 @@
+// Worker-pool parallel-for for sweep workloads.
+//
+// Every paper figure is a sweep of independent simulation points; each point
+// owns its HostSystem (and therefore its Simulator, RNG streams, and
+// counters), so points can run on separate threads with no shared mutable
+// state and bit-identical results to a serial run. This header provides the
+// minimal engine for that: run N independent jobs on a temporary pool.
+//
+// Thread-count policy: the HOSTNET_THREADS environment variable overrides;
+// otherwise std::thread::hardware_concurrency() is used.
+//
+// Caveat: sim::Tracer::set_global installs a process-wide trace sink; do not
+// enable it while running parallel sweeps (see DESIGN.md, threading model).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hostnet::core {
+
+/// Worker threads to use for parallel sweeps: the HOSTNET_THREADS
+/// environment variable if set (min 1), else hardware_concurrency().
+unsigned parallel_threads();
+
+/// Run `body(0) .. body(count-1)` across `nthreads` workers (0 = use
+/// parallel_threads()). Jobs are claimed from a shared atomic counter; the
+/// call returns after every claimed job has finished. The calling thread
+/// participates as a worker. If a job throws, remaining unclaimed jobs are
+/// abandoned, all workers are joined, and the first exception is rethrown --
+/// the pool never deadlocks on a throwing job.
+void run_parallel(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned nthreads = 0);
+
+}  // namespace hostnet::core

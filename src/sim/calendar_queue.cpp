@@ -1,0 +1,142 @@
+#include "sim/calendar_queue.hpp"
+
+#include <bit>
+
+namespace hostnet::sim {
+
+namespace {
+
+/// First set bit at index >= from in `bits` (no wraparound), or npos.
+template <std::size_t N>
+std::size_t find_bit_ge(const std::array<std::uint64_t, N>& bits, std::size_t from) {
+  constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  std::size_t word = from / 64;
+  if (word >= N) return kNpos;
+  std::uint64_t w = bits[word] & (~std::uint64_t{0} << (from % 64));
+  for (;;) {
+    if (w != 0) return word * 64 + static_cast<std::size_t>(std::countr_zero(w));
+    if (++word == N) return kNpos;
+    w = bits[word];
+  }
+}
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+void CalendarQueue::push(Tick at, Event ev) {
+  assert(at >= win_start_ && "cannot schedule before the current window");
+  ++size_;
+  if (at < win_start_ + Tick(kNumSlots)) {
+    // Hot path: within the current window -- append to the one-tick slot.
+    Slot& s = slots_[static_cast<std::size_t>(at & kSlotMask)];
+    if (s.events.empty())
+      slot_bits_[static_cast<std::size_t>(at & kSlotMask) / 64] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(at & kSlotMask) % 64);
+    s.events.push_back(std::move(ev));
+    return;
+  }
+  if (at < win_start_ + kHorizon) {
+    // If the overflow map still holds this exact tick (scheduled when it was
+    // beyond the horizon), append there so the tick's FIFO stays whole.
+    if (!overflow_.empty() && overflow_.begin()->first <= at) {
+      auto it = overflow_.find(at);
+      if (it != overflow_.end()) {
+        it->second.push_back(std::move(ev));
+        return;
+      }
+    }
+    const std::size_t b = bucket_index(at);
+    if (buckets_[b].empty()) bucket_bits_[b / 64] |= std::uint64_t{1} << (b % 64);
+    buckets_[b].push_back(TimedEvent{at, std::move(ev)});
+    return;
+  }
+  overflow_[at].push_back(std::move(ev));
+}
+
+Tick CalendarQueue::scan_l0(Tick from) const {
+  if (from >= win_start_ + Tick(kNumSlots)) return kNoEvent;
+  const std::size_t s =
+      find_bit_ge(slot_bits_, static_cast<std::size_t>(from < win_start_ ? 0 : from - win_start_));
+  return s == kNpos ? kNoEvent : win_start_ + Tick(s);
+}
+
+Tick CalendarQueue::next_bucket_base() const {
+  const std::size_t cb = bucket_index(win_start_);
+  // The current window's bucket is always empty (scattered on advance), so a
+  // plain two-segment scan over the ring cannot return a stale hit at cb.
+  std::size_t b = find_bit_ge(bucket_bits_, cb + 1);
+  if (b == kNpos) b = find_bit_ge(bucket_bits_, 0);
+  if (b == kNpos) return kNoEvent;
+  const std::size_t dist = (b - cb) & (kNumBuckets - 1);
+  return win_start_ + Tick(dist) * Tick(kNumSlots);
+}
+
+void CalendarQueue::advance_to(Tick target) {
+  win_start_ = target & ~kSlotMask;
+  cursor_ = win_start_;
+  const std::size_t cb = bucket_index(win_start_);
+  auto& bucket = buckets_[cb];
+  if (!bucket.empty()) {
+    bucket_bits_[cb / 64] &= ~(std::uint64_t{1} << (cb % 64));
+    for (TimedEvent& te : bucket) {
+      assert(te.at >= win_start_ && te.at < win_start_ + Tick(kNumSlots));
+      const std::size_t slot = static_cast<std::size_t>(te.at & kSlotMask);
+      Slot& s = slots_[slot];
+      if (s.events.empty()) slot_bits_[slot / 64] |= std::uint64_t{1} << (slot % 64);
+      s.events.push_back(std::move(te.fn));
+    }
+    bucket.clear();
+  }
+  // Overflow ticks that now fall inside the window move into L0. A tick's
+  // FIFO lives either here or in the L1 bucket, never both, so migration
+  // order between the two cannot reorder same-tick events.
+  while (!overflow_.empty() && overflow_.begin()->first < win_start_ + Tick(kNumSlots)) {
+    auto it = overflow_.begin();
+    const std::size_t slot = static_cast<std::size_t>(it->first & kSlotMask);
+    Slot& s = slots_[slot];
+    if (s.events.empty()) slot_bits_[slot / 64] |= std::uint64_t{1} << (slot % 64);
+    for (Event& e : it->second) s.events.push_back(std::move(e));
+    overflow_.erase(it);
+  }
+}
+
+Tick CalendarQueue::next_tick() {
+  if (size_ == 0) return kNoEvent;
+  // Fast path: the slot at the cursor tick still holds unpopped events
+  // (common when many events share a tick), so no bitmap scan is needed.
+  // Slots hold exactly one tick's events, so a non-drained cursor slot can
+  // only mean more events at cursor_ itself.
+  const Slot& cur = slots_[static_cast<std::size_t>(cursor_ & kSlotMask)];
+  if (cur.head < cur.events.size()) return cursor_;
+  for (;;) {
+    const Tick t = scan_l0(cursor_ > win_start_ ? cursor_ : win_start_);
+    if (t != kNoEvent) return t;
+    // Window drained: jump to the earliest populated window (L1 or overflow).
+    Tick target = next_bucket_base();
+    if (!overflow_.empty()) {
+      const Tick k = overflow_.begin()->first & ~kSlotMask;
+      if (target == kNoEvent || k < target) target = k;
+    }
+    assert(target != kNoEvent && "size_ > 0 but no events found");
+    advance_to(target);
+  }
+}
+
+Event CalendarQueue::pop_at(Tick at) {
+  assert(at >= win_start_ && at < win_start_ + Tick(kNumSlots));
+  Slot& s = slots_[static_cast<std::size_t>(at & kSlotMask)];
+  assert(s.head < s.events.size());
+  Event ev = std::move(s.events[s.head++]);
+  if (s.head == s.events.size()) {
+    s.events.clear();  // keeps capacity for the next lap of the window
+    s.head = 0;
+    slot_bits_[static_cast<std::size_t>(at & kSlotMask) / 64] &=
+        ~(std::uint64_t{1} << (static_cast<std::size_t>(at & kSlotMask) % 64));
+  }
+  --size_;
+  cursor_ = at;
+  return ev;
+}
+
+}  // namespace hostnet::sim

@@ -1,0 +1,102 @@
+// Calendar/bucket event queue for the simulation kernel.
+//
+// Replaces the binary heap of (time, seq, std::function) entries: events are
+// bucketed by Tick, and every bucket is a FIFO, so two events scheduled for
+// the same tick fire in schedule order *by construction* -- no sequence
+// counter, no comparator, and determinism cannot be broken by a queue
+// rebalance.
+//
+// Layout (bucket widths documented in DESIGN.md "Event kernel"):
+//   L0  -- 4096 one-tick slots covering the current 4096-tick (~4 ns,
+//          picosecond clock) window. schedule/fire within the window is an
+//          append / indexed pop: O(1), zero allocations once slot vectors
+//          have warmed up. A bitmap over the slots finds the next occupied
+//          slot with word-sized scans.
+//   L1  -- 4096 buckets of 4096 ticks each (~16.8 us horizon). When the
+//          clock enters a bucket's window the bucket is scattered into L0 in
+//          insertion order, which preserves per-tick FIFO.
+//   Map -- ticks beyond the ~16.8 us horizon live in an exact-tick ordered
+//          map (rare: device latencies, protocol RTT timers, control loops).
+//
+// Same-tick FIFO across the three levels is maintained by two rules: (a) a
+// level migrates into the one below *before* the clock can reach any of its
+// ticks, and earlier-scheduled events land first; (b) a push that targets a
+// tick still held by the overflow map appends to that map entry instead of
+// the L1 bucket, so one tick's FIFO never straddles two structures.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/event.hpp"
+
+namespace hostnet::sim {
+
+class CalendarQueue {
+ public:
+  static constexpr int kSlotBits = 12;
+  static constexpr std::size_t kNumSlots = std::size_t{1} << kSlotBits;  ///< L0 window
+  static constexpr Tick kSlotMask = Tick(kNumSlots) - 1;
+  static constexpr int kBucketBits = 12;
+  static constexpr std::size_t kNumBuckets = std::size_t{1} << kBucketBits;
+  /// Ticks at or beyond win_start + kHorizon go to the overflow map.
+  static constexpr Tick kHorizon = Tick(1) << (kSlotBits + kBucketBits);
+  static constexpr Tick kNoEvent = -1;
+
+  /// Append `ev` to tick `at`'s FIFO. `at` must be >= the last popped tick.
+  void push(Tick at, Event ev);
+
+  /// Tick of the earliest pending event, or kNoEvent when empty. Advances
+  /// the L0 window (an order-preserving migration) when the current window
+  /// is drained.
+  Tick next_tick();
+
+  /// Pop the front event of tick `at`, which must be the value just
+  /// returned by next_tick().
+  Event pop_at(Tick at);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    std::vector<Event> events;  ///< FIFO; capacity is retained across windows
+    std::size_t head = 0;       ///< next un-fired event
+  };
+  struct TimedEvent {
+    Tick at;
+    Event fn;
+  };
+
+  static std::size_t bucket_index(Tick at) {
+    return static_cast<std::size_t>(at >> kSlotBits) & (kNumBuckets - 1);
+  }
+
+  /// First occupied L0 slot at tick >= from (within the current window), or
+  /// kNoEvent.
+  Tick scan_l0(Tick from) const;
+
+  /// First occupied L1 bucket after the current window's bucket (ring
+  /// order), as an absolute window-base tick; kNoEvent if L1 is empty.
+  Tick next_bucket_base() const;
+
+  /// Move the window to the one containing `target`: scatter that window's
+  /// L1 bucket into L0 (insertion order), then migrate overflow ticks that
+  /// now fall inside the window.
+  void advance_to(Tick target);
+
+  Tick win_start_ = 0;  ///< aligned to kNumSlots
+  Tick cursor_ = 0;     ///< lower bound for the earliest pending tick
+  std::size_t size_ = 0;
+  std::array<Slot, kNumSlots> slots_;
+  std::array<std::vector<TimedEvent>, kNumBuckets> buckets_;
+  std::array<std::uint64_t, kNumSlots / 64> slot_bits_{};
+  std::array<std::uint64_t, kNumBuckets / 64> bucket_bits_{};
+  std::map<Tick, std::vector<Event>> overflow_;
+};
+
+}  // namespace hostnet::sim

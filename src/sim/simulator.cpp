@@ -1,22 +1,19 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace hostnet::sim {
 
 void Simulator::schedule_at(Tick at, Event fn) {
   assert(at >= now_ && "cannot schedule into the past");
-  queue_.push(Entry{at, next_seq_++, std::move(fn)});
+  queue_.push(at, std::move(fn));
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the event is moved out via const_cast
-  // which is safe because the entry is popped immediately after.
-  auto& top = const_cast<Entry&>(queue_.top());
-  Tick at = top.at;
-  Event fn = std::move(top.fn);
-  queue_.pop();
+  const Tick at = queue_.next_tick();
+  if (at == CalendarQueue::kNoEvent) return false;
+  Event fn = queue_.pop_at(at);
   now_ = at;
   ++executed_;
   fn();
@@ -24,7 +21,14 @@ bool Simulator::step() {
 }
 
 void Simulator::run_until(Tick until) {
-  while (!queue_.empty() && queue_.top().at <= until) step();
+  for (;;) {
+    const Tick at = queue_.next_tick();
+    if (at == CalendarQueue::kNoEvent || at > until) break;
+    Event fn = queue_.pop_at(at);
+    now_ = at;
+    ++executed_;
+    fn();
+  }
   if (now_ < until) now_ = until;
 }
 

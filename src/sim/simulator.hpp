@@ -1,22 +1,19 @@
 // Discrete-event simulation kernel.
 //
 // A single Simulator owns the clock and the pending-event queue. Events are
-// ordered by (time, insertion sequence) so simulations are deterministic:
-// two events scheduled for the same tick fire in the order they were
-// scheduled.
+// bucketed by tick with FIFO same-tick buckets (see calendar_queue.hpp), so
+// simulations are deterministic by construction: two events scheduled for
+// the same tick fire in the order they were scheduled. The schedule/fire
+// path performs no heap allocation for closures up to Event::kInlineBytes.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <utility>
-#include <vector>
 
 #include "common/units.hpp"
+#include "sim/calendar_queue.hpp"
+#include "sim/event.hpp"
 
 namespace hostnet::sim {
-
-using Event = std::function<void()>;
 
 class Simulator {
  public:
@@ -33,8 +30,7 @@ class Simulator {
   void schedule(Tick delay, Event fn) { schedule_at(now_ + delay, std::move(fn)); }
 
   /// Run events until the queue is empty or the clock passes `until`.
-  /// The clock is left at `until` (or at the last event if the queue dried
-  /// up earlier and `advance_clock` is true).
+  /// The clock is left at `until`, even if the queue dried up earlier.
   void run_until(Tick until);
 
   /// Run the single next event; returns false when no events remain.
@@ -44,22 +40,9 @@ class Simulator {
   std::size_t pending() const { return queue_.size(); }
 
  private:
-  struct Entry {
-    Tick at;
-    std::uint64_t seq;
-    Event fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
   Tick now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  CalendarQueue queue_;
 };
 
 }  // namespace hostnet::sim

@@ -1,8 +1,15 @@
 // Unit tests for the event-driven simulation kernel.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <memory>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "sim/calendar_queue.hpp"
+#include "sim/event.hpp"
 #include "sim/simulator.hpp"
 
 namespace hostnet::sim {
@@ -72,6 +79,128 @@ TEST(Simulator, BoundaryEventIncluded) {
   s.schedule_at(10, [&] { fired = true; });
   s.run_until(10);
   EXPECT_TRUE(fired);
+}
+
+// -- calendar-queue specific coverage ---------------------------------------
+
+TEST(Simulator, SameTickFifoAcrossSchedulePaths) {
+  // Event 1 is scheduled for tick T while T is beyond the first L0 window
+  // (L1 bucket path); event 2 is scheduled for the same T at runtime, after
+  // the window has advanced (direct L0 append). Schedule order must hold.
+  Simulator s;
+  std::vector<int> order;
+  const Tick T = 10000;  // window [8192, 12288) for the 4096-tick L0 window
+  s.schedule_at(T, [&] { order.push_back(1); });
+  s.schedule_at(9000, [&] { s.schedule_at(T, [&] { order.push_back(2); }); });
+  s.run_until(20000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, SameTickFifoAcrossBucketArrayWrap) {
+  // Tick T sits beyond the whole calendar horizon at schedule time, so the
+  // first two events take the overflow-map path; the third is scheduled for
+  // the same T at runtime after the bucket array has wrapped around and the
+  // overflow entry has migrated into L0. FIFO must follow schedule order:
+  // 0 (setup), 2 (setup), then 1 (scheduled last, at runtime).
+  Simulator s;
+  std::vector<int> order;
+  const Tick T = CalendarQueue::kHorizon + 12345;
+  s.schedule_at(T, [&] { order.push_back(0); });
+  s.schedule_at(T - 3, [&] { s.schedule(3, [&] { order.push_back(1); }); });
+  s.schedule_at(T, [&] { order.push_back(2); });
+  s.run_until(T);
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(Simulator, StressOrderingMatchesStableSortByTick) {
+  // 20k events over a range spanning many L0 windows, the L1 ring, and the
+  // overflow map, with forced same-tick collisions. The firing order must
+  // equal a stable sort of the schedule order by tick.
+  Simulator s;
+  Rng rng(42);
+  struct Rec {
+    Tick at;
+    int seq;
+  };
+  std::vector<Rec> scheduled;
+  std::vector<int> fired;
+  const int n = 20000;
+  Tick max_at = 0;
+  for (int i = 0; i < n; ++i) {
+    Tick at = static_cast<Tick>(rng.below(Tick(1) << 22));
+    if (rng.chance(0.05)) at += CalendarQueue::kHorizon;  // overflow territory
+    at &= ~Tick(63);                                      // force same-tick collisions
+    max_at = std::max(max_at, at);
+    scheduled.push_back({at, i});
+    s.schedule_at(at, [&fired, i] { fired.push_back(i); });
+  }
+  s.run_until(max_at + 1);
+  std::stable_sort(scheduled.begin(), scheduled.end(),
+                   [](const Rec& a, const Rec& b) { return a.at < b.at; });
+  ASSERT_EQ(fired.size(), scheduled.size());
+  for (int i = 0; i < n; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], scheduled[static_cast<size_t>(i)].seq);
+  EXPECT_EQ(s.events_executed(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, LongChainAcrossManyWindowWraps) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 50000) s.schedule(3, chain);  // crosses ~36 window boundaries
+  };
+  s.schedule_at(0, chain);
+  s.run_until(ms(1));
+  EXPECT_EQ(depth, 50000);
+}
+
+TEST(Simulator, LargeCaptureEventsFallBackToHeapAndRun) {
+  Simulator s;
+  std::array<std::uint64_t, 16> payload{};  // 128 B: over the inline capacity
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i;
+  std::uint64_t sum = 0;
+  s.schedule_at(5, [payload, &sum] {
+    for (auto v : payload) sum += v;
+  });
+  s.run_until(10);
+  EXPECT_EQ(sum, 120u);
+}
+
+TEST(Event, InlineSmallCaptures) {
+  int x = 0;
+  Event a([&x] { ++x; });
+  EXPECT_TRUE(a.inlined());
+  Event b = std::move(a);
+  b();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(Event, HeapFallbackForLargeCaptures) {
+  std::array<std::uint64_t, 32> big{};
+  big[31] = 7;
+  Event e([big] { (void)big[0]; });
+  EXPECT_FALSE(e.inlined());
+  e();
+}
+
+TEST(Event, ReleasesCapturedResources) {
+  auto sp = std::make_shared<int>(7);
+  {
+    // Owning captures are not trivially copyable, so they take the heap
+    // path -- and their resources must still be released exactly once.
+    Event e([sp] { (void)*sp; });
+    EXPECT_FALSE(e.inlined());
+    EXPECT_EQ(sp.use_count(), 2);
+  }
+  EXPECT_EQ(sp.use_count(), 1);
+
+  // Moved-from events must not double-release on destruction.
+  {
+    Event e([sp] { (void)*sp; });
+    Event f = std::move(e);
+    EXPECT_EQ(sp.use_count(), 2);
+  }
+  EXPECT_EQ(sp.use_count(), 1);
 }
 
 }  // namespace
