@@ -17,12 +17,15 @@
 #include <atomic>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <new>
 #include <queue>
 
+#include "common/rng.hpp"
 #include "core/experiment.hpp"
 #include "core/host_system.hpp"
 #include "dram/address_map.hpp"
+#include "mc/channel.hpp"
 #include "sim/simulator.hpp"
 #include "workloads/workloads.hpp"
 
@@ -196,6 +199,100 @@ void BM_EventKernelMixedDelaysLegacyHeap(benchmark::State& state) {
 }
 BENCHMARK(BM_EventKernelMixedDelaysLegacyHeap)->Unit(benchmark::kMillisecond);
 
+// ---- MC-channel microbenchmark ---------------------------------------------
+// Synthetic closed-loop enqueue stream straight into one mc::Channel -- no
+// CHA/CPU above it and (almost) no kernel dispatch beside the channel's own
+// events -- so channel-level scheduling wins are measurable in isolation.
+// The listener refills the queues synchronously on every freed slot (the
+// same reentrant shape as Cha::on_rpq_slot_freed admitting a parked read),
+// keeping them near capacity for the whole run. Args: (write %, random
+// addressing). Counters: allocations, dead (cancelled) kick events, and
+// deduplicated kick requests, all per line.
+
+constexpr std::uint64_t kMcLinesPerIter = 50000;
+
+struct McStream final : mc::ChannelListener {
+  sim::Simulator sim;
+  dram::AddressMap map{1, 32, 8192, 256, dram::BankHash::kXorHash, 8192};
+  mc::ChannelConfig cfg;
+  std::unique_ptr<mc::Channel> ch;
+  Rng rng{12345};
+  double write_fraction;
+  bool random_addresses;
+  std::uint64_t next_line = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+
+  McStream(double wf, bool random) : write_fraction(wf), random_addresses(random) {
+    cfg.timing = dram::ddr4_2933();
+    ch = std::make_unique<mc::Channel>(sim, cfg, 32, 0, this);
+  }
+
+  void pump() {
+    while (sent < kMcLinesPerIter) {
+      const bool is_write = write_fraction > 0.0 && rng.chance(write_fraction);
+      if (is_write ? !ch->wpq_has_space() : !ch->rpq_has_space()) return;
+      const std::uint64_t line = random_addresses ? rng.below(1 << 20) : next_line++;
+      mem::Request req;
+      req.addr = line * kCachelineBytes;
+      req.op = is_write ? mem::Op::kWrite : mem::Op::kRead;
+      if (is_write)
+        ch->enqueue_write(req, map.decode(req.addr));
+      else
+        ch->enqueue_read(req, map.decode(req.addr));
+      ++sent;
+    }
+  }
+
+  void on_read_data(const mem::Request&, Tick) override { ++completed; }
+  void on_wpq_slot_freed(std::uint32_t, Tick) override {
+    ++completed;
+    pump();
+  }
+  void on_rpq_slot_freed(std::uint32_t, Tick) override { pump(); }
+};
+
+void BM_McChannelOnly(benchmark::State& state) {
+  const double write_fraction = static_cast<double>(state.range(0)) / 100.0;
+  const bool random_addresses = state.range(1) != 0;
+  std::uint64_t lines = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deduped = 0;
+  // One stream reused across iterations: the first batch warms the calendar
+  // queue's slot vectors (a one-time cost in real runs), so the measured
+  // iterations report steady-state work -- where allocs/line must be zero.
+  McStream s(write_fraction, random_addresses);
+  s.pump();
+  s.sim.run_until(s.sim.now() + ms(10000));  // runs to idle: batch drained
+  for (auto _ : state) {
+    s.sent = 0;
+    s.completed = 0;
+    const std::uint64_t c0 = s.ch->kick_stats().cancelled;
+    const std::uint64_t d0 = s.ch->kick_stats().deduped;
+    const std::uint64_t a0 = alloc_count();
+    s.pump();
+    s.sim.run_until(s.sim.now() + ms(10000));
+    allocs += alloc_count() - a0;
+    lines += s.completed;
+    cancelled += s.ch->kick_stats().cancelled - c0;
+    deduped += s.ch->kick_stats().deduped - d0;
+    benchmark::DoNotOptimize(s.completed);
+    if (s.completed != kMcLinesPerIter) state.SkipWithError("stream did not drain");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(lines));
+  const double denom = static_cast<double>(lines ? lines : 1);
+  state.counters["allocs_per_line"] = static_cast<double>(allocs) / denom;
+  state.counters["cancelled_kicks_per_line"] = static_cast<double>(cancelled) / denom;
+  state.counters["deduped_kicks_per_line"] = static_cast<double>(deduped) / denom;
+}
+BENCHMARK(BM_McChannelOnly)
+    ->Args({0, 0})    // sequential reads: row-hit streaming
+    ->Args({0, 1})    // random reads: row misses, bank conflicts
+    ->Args({30, 1})   // mixed read/write: mode switches + drains
+    ->Args({100, 0})  // pure writes: watermark drain cycling
+    ->Unit(benchmark::kMillisecond);
+
 // ---- existing coverage -----------------------------------------------------
 
 void BM_AddressDecode(benchmark::State& state) {
@@ -216,6 +313,8 @@ BENCHMARK(BM_AddressDecode);
 
 void BM_HostSimulation(benchmark::State& state) {
   // Simulated-time throughput of a loaded host (4 C2M cores + P2M writes).
+  std::uint64_t kicks_scheduled = 0;
+  std::uint64_t kicks_cancelled = 0;
   for (auto _ : state) {
     const auto hc = core::cascade_lake();
     core::HostSystem host(hc);
@@ -224,8 +323,15 @@ void BM_HostSimulation(benchmark::State& state) {
     host.add_storage(workloads::fio_p2m_write(hc, workloads::p2m_region()));
     host.run(us(50), us(200));
     benchmark::DoNotOptimize(host.collect().total_mem_gbps());
+    for (std::uint32_t c = 0; c < host.mc().num_channels(); ++c) {
+      kicks_scheduled += host.mc().channel(c).kick_stats().scheduled;
+      kicks_cancelled += host.mc().channel(c).kick_stats().cancelled;
+    }
   }
   state.SetLabel("250us simulated per iteration");
+  state.counters["dead_kick_ratio"] =
+      static_cast<double>(kicks_cancelled) /
+      static_cast<double>(kicks_scheduled ? kicks_scheduled : 1);
 }
 BENCHMARK(BM_HostSimulation)->Unit(benchmark::kMillisecond);
 

@@ -1,6 +1,7 @@
 #include "cha/cha.hpp"
 
 #include <cassert>
+#include <type_traits>
 
 namespace hostnet::cha {
 
@@ -105,9 +106,9 @@ void Cha::route_write(const mem::Request& req) {
   if (cfg_.peripheral_write_priority && req.source == mem::Source::kPeripheral) {
     // Peripheral writes bypass the CPU write-back backlog: insert after any
     // queued peripheral writes but ahead of all CPU ones.
-    auto it = pending.begin();
-    while (it != pending.end() && it->req.source == mem::Source::kPeripheral) ++it;
-    pending.insert(it, Transit{req});
+    std::size_t pos = 0;
+    while (pos < pending.size() && pending[pos].req.source == mem::Source::kPeripheral) ++pos;
+    pending.insert(pos, Transit{req});
   } else {
     pending.push_back(Transit{req});
   }
@@ -120,13 +121,17 @@ void Cha::pump_reads(std::uint32_t ch) {
     --p.read_tokens;
     const mem::Request req = p.read_pending.front().req;
     p.read_pending.pop_front();
-    sim_.schedule(cfg_.t_read_fwd, [this, ch, req] {
+    auto arrive = [this, ch, req] {
       if (mc_.channel(ch).rpq_has_space()) {
         admit_read_to_rpq(ch, req);
       } else {
         ports_[ch].read_parked.push_back(Transit{req});
       }
-    });
+    };
+    static_assert(sizeof(arrive) <= sim::Event::kInlineBytes &&
+                      std::is_trivially_copyable_v<decltype(arrive)>,
+                  "per-line CHA->MC read hop must stay in the inline Event buffer");
+    sim_.schedule(cfg_.t_read_fwd, arrive);
   }
 }
 
@@ -136,13 +141,17 @@ void Cha::pump_writes(std::uint32_t ch) {
     --p.write_tokens;
     const mem::Request req = p.write_pending.front().req;
     p.write_pending.pop_front();
-    sim_.schedule(cfg_.t_write_fwd, [this, ch, req] {
+    auto arrive = [this, ch, req] {
       if (mc_.channel(ch).wpq_has_space()) {
         admit_write_to_wpq(ch, req);
       } else {
         ports_[ch].write_parked.push_back(Transit{req});
       }
-    });
+    };
+    static_assert(sizeof(arrive) <= sim::Event::kInlineBytes &&
+                      std::is_trivially_copyable_v<decltype(arrive)>,
+                  "per-line CHA->MC write hop must stay in the inline Event buffer");
+    sim_.schedule(cfg_.t_write_fwd, arrive);
   }
 }
 

@@ -23,12 +23,12 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "cache/ddio.hpp"
+#include "common/ring_buffer.hpp"
 #include "common/stats.hpp"
 #include "counters/station.hpp"
 #include "mc/memory_controller.hpp"
@@ -126,10 +126,10 @@ class Cha final : public mc::ChannelListener {
     mem::Request req;
   };
   struct Port {
-    std::deque<Transit> read_pending;
-    std::deque<Transit> write_pending;
-    std::deque<Transit> read_parked;   ///< at MC boundary, RPQ full (token held)
-    std::deque<Transit> write_parked;  ///< at MC boundary, WPQ full (token held)
+    RingBuffer<Transit> read_pending;
+    RingBuffer<Transit> write_pending;
+    RingBuffer<Transit> read_parked;   ///< at MC boundary, RPQ full (token held)
+    RingBuffer<Transit> write_parked;  ///< at MC boundary, WPQ full (token held)
     std::uint32_t read_tokens = 0;
     std::uint32_t write_tokens = 0;
   };
@@ -157,9 +157,9 @@ class Cha final : public mc::ChannelListener {
   std::vector<Port> ports_;
   std::uint32_t read_tor_used_ = 0;
   std::uint32_t write_tracker_used_ = 0;
-  std::deque<ChaClient*> read_waiters_;
-  std::deque<ChaClient*> cpu_write_waiters_;
-  std::deque<ChaClient*> peripheral_write_waiters_;
+  RingBuffer<ChaClient*> read_waiters_;
+  RingBuffer<ChaClient*> cpu_write_waiters_;
+  RingBuffer<ChaClient*> peripheral_write_waiters_;
   bool notifying_ = false;
 
   std::array<counters::LatencyStation, mem::kNumTrafficClasses> stations_{};

@@ -1,6 +1,7 @@
 #include "cpu/core.hpp"
 
 #include <cassert>
+#include <type_traits>
 
 #include "sim/trace.hpp"
 
@@ -94,7 +95,11 @@ void Core::issue_read(std::uint64_t addr, bool is_store) {
   req.created = now;
   req.completer = this;
   req.tag = is_store ? 1 : 0;
-  sim_.schedule(cfg_.t_core_to_cha, [this, req] { send_to_cha(req); });
+  auto miss = [this, req] { send_to_cha(req); };
+  static_assert(sizeof(miss) <= sim::Event::kInlineBytes &&
+                    std::is_trivially_copyable_v<decltype(miss)>,
+                "per-line core->CHA miss hop must stay in the inline Event buffer");
+  sim_.schedule(cfg_.t_core_to_cha, miss);
 }
 
 void Core::send_to_cha(mem::Request req) {

@@ -23,9 +23,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "cha/cha.hpp"
+#include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
 #include "counters/station.hpp"
 #include "mem/request.hpp"
@@ -117,8 +117,8 @@ class Core final : public mem::Completer, public cha::ChaClient {
     mem::Request req;
     Tick since;
   };
-  std::deque<Blocked> blocked_reads_;
-  std::deque<Blocked> blocked_writes_;
+  RingBuffer<Blocked> blocked_reads_;
+  RingBuffer<Blocked> blocked_writes_;
 
   counters::LatencyStation lfb_station_;    ///< credit hold time (the LFB latency)
   counters::LatencyStation write_station_;  ///< C2M-Write domain (send -> CHA ack)

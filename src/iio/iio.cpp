@@ -108,8 +108,8 @@ void Iio::complete(const mem::Request& req, Tick now) {
 
 void Iio::register_device(mem::Op op, Device* dev) {
   auto& q = op == mem::Op::kWrite ? write_waiters_ : read_waiters_;
-  for (Device* d : q)
-    if (d == dev) return;  // already waiting
+  for (std::size_t i = 0; i < q.size(); ++i)
+    if (q[i] == dev) return;  // already waiting
   q.push_back(dev);
 }
 

@@ -15,10 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "cha/cha.hpp"
+#include "common/ring_buffer.hpp"
 #include "counters/station.hpp"
 #include "mem/request.hpp"
 #include "sim/simulator.hpp"
@@ -80,10 +80,10 @@ class Iio final : public mem::Completer, public cha::ChaClient {
 
   std::uint32_t write_in_use_ = 0;
   std::uint32_t read_in_use_ = 0;
-  std::deque<Blocked> blocked_reads_;
-  std::deque<Blocked> blocked_writes_;
-  std::deque<Device*> write_waiters_;
-  std::deque<Device*> read_waiters_;
+  RingBuffer<Blocked> blocked_reads_;
+  RingBuffer<Blocked> blocked_writes_;
+  RingBuffer<Device*> write_waiters_;
+  RingBuffer<Device*> read_waiters_;
   struct Pending {
     Device* dev;
     std::uint64_t tag;

@@ -13,20 +13,34 @@ Channel::Channel(sim::Simulator& sim, const ChannelConfig& cfg, std::uint32_t ba
       cfg_(cfg),
       index_(index),
       listener_(listener),
+      rpq_(cfg.rpq_capacity, cfg.prep_window),
+      wpq_(cfg.wpq_capacity, cfg.prep_window),
       banks_(banks),
       bank_pending_(banks, -1),
-      counters_(banks, cfg.wpq_capacity) {}
+      counters_(banks, cfg.wpq_capacity) {
+  // Wake-up events in flight are bounded by the distinct ticks requested
+  // between fires (stale-write deadlines plus near-term bus/bank kicks);
+  // reserve enough that the tracking itself never allocates in steady state.
+  kick_inflight_.reserve(64);
+}
 
 void Channel::enqueue_read(const mem::Request& req, const dram::Coord& coord) {
   assert(rpq_has_space());
-  rpq_.push_back(Entry{req, coord, sim_.now(), next_entry_id_++, false, 0});
+  const auto slot = rpq_.push_back(req, coord, sim_.now(), next_entry_id_++);
+  // The new entry matters to the next prep scan only if it is immediately
+  // preppable; any later change to that (a bank freeing, the window sliding,
+  // a mode switch) marks the scan dirty at its own site.
+  if (mode_ == Mode::kRead && rpq_.in_window(slot) && bank_pending_[coord.bank] == -1)
+    prep_dirty_ = true;
   counters_.rpq_occ.add(sim_.now(), +1);
   kick();
 }
 
 void Channel::enqueue_write(const mem::Request& req, const dram::Coord& coord) {
   assert(wpq_has_space());
-  wpq_.push_back(Entry{req, coord, sim_.now(), next_entry_id_++, false, 0});
+  const auto slot = wpq_.push_back(req, coord, sim_.now(), next_entry_id_++);
+  if (mode_ == Mode::kWrite && wpq_.in_window(slot) && bank_pending_[coord.bank] == -1)
+    prep_dirty_ = true;
   counters_.wpq_occ.add(sim_.now(), +1);
   // A lone write enqueued while the controller idles in read mode must not
   // wait forever: arm the stale-write timer.
@@ -48,6 +62,7 @@ void Channel::maybe_switch_mode(Tick now) {
     }
     if ((high && dwell_done) || idle_drain) {
       mode_ = Mode::kWrite;
+      prep_dirty_ = true;
       bus_free_at_ = std::max(bus_free_at_, now) + cfg_.timing.t_rtw;
       release_inactive_banks(rpq_);
       if (auto* tr = sim::Tracer::global()) {
@@ -59,6 +74,7 @@ void Channel::maybe_switch_mode(Tick now) {
     const bool drained = !rpq_.empty() && wpq_.size() <= cfg_.wpq_low_wm;
     if (drained) {
       mode_ = Mode::kRead;
+      prep_dirty_ = true;
       read_dwell_until_ =
           now + std::min(cfg_.read_dwell_cap,
                          static_cast<Tick>(rpq_.size()) * cfg_.dwell_per_queued_read);
@@ -69,48 +85,68 @@ void Channel::maybe_switch_mode(Tick now) {
   }
 }
 
-void Channel::release_inactive_banks(std::deque<Entry>& q) {
+void Channel::release_inactive_banks(SlotQueue& q) {
   // Entries of the now-inactive queue give up their bank reservations so the
   // active mode can use the banks; they re-prepare on their next turn (row
   // state persists, so an undisturbed row is still a hit). Without this a
   // prepped-but-unissued entry could block the other mode indefinitely.
-  for (auto& e : q) {
-    if (!e.prepped) continue;
+  // Walking the prepped sublist visits exactly the entries the full-queue
+  // scan used to touch, in the same (age) order.
+  auto i = q.prepped_head();
+  while (i != SlotQueue::kNil) {
+    const auto next = q.prepped_next(i);
+    const Entry& e = q.entry(i);
     if (bank_pending_[e.coord.bank] == static_cast<std::int64_t>(e.id))
       bank_pending_[e.coord.bank] = -1;
-    e.prepped = false;
+    q.unprep(i);
+    i = next;
   }
 }
 
 void Channel::prep_banks(Tick now) {
+  // `prep_dirty_` is exact change-tracking: when clear, every unprepped
+  // window entry's bank is owned, so the scan below would find nothing. It
+  // is set by the only events that create a preppable entry -- an eligible
+  // enqueue, a bank freed by issue, the window sliding after an erase
+  // (always an issue), and a mode switch (incl. releasing bank ownership).
+  if (!prep_dirty_) return;
   auto& q = active_queue();
-  std::uint32_t scanned = 0;
-  for (auto& e : q) {
-    if (++scanned > cfg_.prep_window) break;
-    if (e.prepped) continue;
-    if (bank_pending_[e.coord.bank] != -1) continue;  // older entry owns the bank
-    e.row_result = banks_[e.coord.bank].prepare(now, e.coord.row, cfg_.timing);
-    e.prepped = true;
-    e.row_ready_at = banks_[e.coord.bank].ready_at();
-    bank_pending_[e.coord.bank] = static_cast<std::int64_t>(e.id);
+  // Walk only the unprepped entries inside the prep window, oldest first --
+  // the same candidates the full window scan used to visit, in the same
+  // order (the sublist is age-ordered and window membership is exact).
+  for (auto i = q.unprepped_window_head(); i != SlotQueue::kNil;) {
+    const auto next = q.unprepped_window_next(i);
+    Entry& e = q.entry(i);
+    if (bank_pending_[e.coord.bank] == -1) {
+      e.row_result = banks_[e.coord.bank].prepare(now, e.coord.row, cfg_.timing);
+      e.row_ready_at = banks_[e.coord.bank].ready_at();
+      q.mark_prepped(i);
+      bank_pending_[e.coord.bank] = static_cast<std::int64_t>(e.id);
+    }
+    i = next;
   }
+  prep_dirty_ = false;
 }
 
 bool Channel::try_issue(Tick now) {
   if (bus_free_at_ > now) return false;
   auto& q = active_queue();
-  auto it = q.end();
-  for (auto i = q.begin(); i != q.end(); ++i) {
-    if (i->prepped && i->row_ready_at <= now) {
+  // FR-FCFS: the oldest row-ready request wins the data bus. The prepped
+  // sublist is age-ordered and only prepped entries can match, so walking
+  // it finds the same entry the full FIFO scan used to.
+  auto it = SlotQueue::kNil;
+  for (auto i = q.prepped_head(); i != SlotQueue::kNil; i = q.prepped_next(i)) {
+    if (q.entry(i).row_ready_at <= now) {
       it = i;
-      break;  // oldest row-ready request wins the data bus
+      break;
     }
   }
-  if (it == q.end()) return false;
+  if (it == SlotQueue::kNil) return false;
 
-  const Entry e = *it;
+  const Entry e = q.entry(it);
   q.erase(it);
   bank_pending_[e.coord.bank] = -1;
+  prep_dirty_ = true;  // a bank freed and the prep window slid forward
   // Row-buffer outcomes are accounted per issued line (formula inputs are
   // per-cacheline), using the outcome of the prep that made this issue ready.
   counters_.on_row_result(e.req.op, e.row_result == dram::RowResult::kHit,
@@ -123,19 +159,27 @@ bool Channel::try_issue(Tick now) {
     counters_.rpq_occ.add(now, -1);
     const Tick done = now + cfg_.timing.t_cas + cfg_.timing.t_trans;
     const mem::Request req = e.req;
-    sim_.schedule_at(done, [this, req, done] { listener_->on_read_data(req, done); });
+    auto completion = [this, req, done] { listener_->on_read_data(req, done); };
+    static_assert(sizeof(completion) <= sim::Event::kInlineBytes &&
+                      std::is_trivially_copyable_v<decltype(completion)>,
+                  "read-completion closure must stay in the inline Event buffer");
+    sim_.schedule_at(done, completion);
     listener_->on_rpq_slot_freed(index_, now);
   } else {
     ++counters_.lines_written;
     counters_.wpq_occ.add(now, -1);
     const Tick done = now + cfg_.timing.t_trans;
-    sim_.schedule_at(done, [this, done] { listener_->on_wpq_slot_freed(index_, done); });
+    auto completion = [this, done] { listener_->on_wpq_slot_freed(index_, done); };
+    static_assert(sizeof(completion) <= sim::Event::kInlineBytes &&
+                      std::is_trivially_copyable_v<decltype(completion)>,
+                  "write-completion closure must stay in the inline Event buffer");
+    sim_.schedule_at(done, completion);
   }
   return true;
 }
 
 void Channel::schedule_next(Tick now) {
-  const auto& q = active_queue();
+  auto& q = active_queue();
   if (q.empty()) {
     // Nothing to do in the active mode; a pending inactive-mode switch is
     // driven by enqueue kicks or the stale-write timer.
@@ -143,28 +187,40 @@ void Channel::schedule_next(Tick now) {
       request_kick_at(std::max(now + 1, wpq_.front().arrival + cfg_.max_write_age));
     return;
   }
-  Tick earliest_ready = std::numeric_limits<Tick>::max();
-  bool any_prepped = false;
-  std::uint32_t scanned = 0;
-  for (const auto& e : q) {
-    if (++scanned > cfg_.prep_window) break;
-    if (e.prepped) {
-      any_prepped = true;
-      earliest_ready = std::min(earliest_ready, e.row_ready_at);
-    }
-  }
-  if (!any_prepped) return;  // waiting on a bank owned by the inactive queue
+  if (q.prepped_count() == 0) return;  // waiting on a bank owned by the inactive queue
+  const Tick earliest_ready = q.earliest_ready();
   request_kick_at(std::max({now + 1, bus_free_at_, earliest_ready}));
 }
 
 void Channel::request_kick_at(Tick at) {
   if (at >= next_kick_at_) return;
   next_kick_at_ = at;
-  sim_.schedule_at(at, [this, at] {
-    if (next_kick_at_ != at) return;  // superseded by an earlier kick
-    next_kick_at_ = std::numeric_limits<Tick>::max();
-    kick();
-  });
+  // An event already in flight for this exact tick will run the kick (the
+  // earliest-scheduled event at a tick fires first, same as before); do not
+  // enqueue a duplicate that could only die as a dead calendar entry.
+  for (const Tick t : kick_inflight_)
+    if (t == at) {
+      ++kick_stats_.deduped;
+      return;
+    }
+  kick_inflight_.push_back(at);
+  ++kick_stats_.scheduled;
+  sim_.schedule_at(at, [this, at] { on_kick_event(at); });
+}
+
+void Channel::on_kick_event(Tick at) {
+  for (auto& t : kick_inflight_)
+    if (t == at) {
+      t = kick_inflight_.back();
+      kick_inflight_.pop_back();
+      break;
+    }
+  if (next_kick_at_ != at) {
+    ++kick_stats_.cancelled;  // superseded by an earlier kick
+    return;
+  }
+  next_kick_at_ = std::numeric_limits<Tick>::max();
+  kick();
 }
 
 void Channel::kick() {

@@ -11,10 +11,16 @@
 //    request of the active mode (FR-FCFS-lite). Requests can therefore be
 //    "blocked on bank processing even when the memory channel is idle"
 //    (section 5.1) -- the root cause of queueing before bandwidth saturation.
+//
+// Hot-path layout (DESIGN.md section 4b): the queues are fixed-capacity
+// slot arenas (slot_queue.hpp) -- entries never move, FIFO order is an
+// intrusive age list, the FR-FCFS scan walks only the prepped sublist, and
+// the next-kick time comes from an incrementally maintained earliest-
+// row_ready_at tracker. Scheduling decisions are bit-identical to the
+// original deque scans; only the work per decision changed.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <vector>
 
@@ -22,6 +28,7 @@
 #include "dram/address_map.hpp"
 #include "dram/bank.hpp"
 #include "dram/timing.hpp"
+#include "mc/slot_queue.hpp"
 #include "mem/request.hpp"
 #include "sim/simulator.hpp"
 
@@ -65,8 +72,8 @@ class Channel {
   /// The listener (the CHA) is constructed after the MC; it attaches here.
   void set_listener(ChannelListener* l) { listener_ = l; }
 
-  bool rpq_has_space() const { return rpq_.size() < cfg_.rpq_capacity; }
-  bool wpq_has_space() const { return wpq_.size() < cfg_.wpq_capacity; }
+  bool rpq_has_space() const { return !rpq_.full(); }
+  bool wpq_has_space() const { return !wpq_.full(); }
 
   /// Caller must have checked *_has_space(). `coord` must be for this channel.
   void enqueue_read(const mem::Request& req, const dram::Coord& coord);
@@ -79,20 +86,23 @@ class Channel {
   std::size_t rpq_size() const { return rpq_.size(); }
   std::size_t wpq_size() const { return wpq_.size(); }
 
+  /// Self-kick bookkeeping: each scheduled wake-up is one calendar-queue
+  /// entry; a wake-up superseded by an earlier one fires as a dead no-op
+  /// ("cancelled"). `deduped` counts requests that re-used an event already
+  /// in flight for the same tick instead of enqueuing a duplicate.
+  /// bench_sim_perf's alloc probe and the dead-event regression test bound
+  /// cancelled/scheduled.
+  struct KickStats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deduped = 0;
+  };
+  const KickStats& kick_stats() const { return kick_stats_; }
+
  private:
   enum class Mode : std::uint8_t { kRead, kWrite };
 
-  struct Entry {
-    mem::Request req;
-    dram::Coord coord;
-    Tick arrival = 0;
-    std::uint64_t id = 0;
-    bool prepped = false;
-    Tick row_ready_at = 0;
-    dram::RowResult row_result = dram::RowResult::kHit;
-  };
-
-  void release_inactive_banks(std::deque<Entry>& q);
+  void release_inactive_banks(SlotQueue& q);
 
   void kick();
   void maybe_switch_mode(Tick now);
@@ -100,24 +110,30 @@ class Channel {
   bool try_issue(Tick now);
   void schedule_next(Tick now);
   void request_kick_at(Tick at);
+  void on_kick_event(Tick at);
 
-  std::deque<Entry>& active_queue() { return mode_ == Mode::kRead ? rpq_ : wpq_; }
+  SlotQueue& active_queue() { return mode_ == Mode::kRead ? rpq_ : wpq_; }
 
   sim::Simulator& sim_;
   ChannelConfig cfg_;
   std::uint32_t index_;
   ChannelListener* listener_;
 
-  std::deque<Entry> rpq_;
-  std::deque<Entry> wpq_;
+  SlotQueue rpq_;
+  SlotQueue wpq_;
   std::vector<dram::Bank> banks_;
   std::vector<std::int64_t> bank_pending_;  ///< entry id holding each bank, -1 if free
 
   Mode mode_ = Mode::kRead;
+  /// False only when the last prep scan of the active queue completed and
+  /// nothing since could have made an entry preppable (see prep_banks).
+  bool prep_dirty_ = true;
   Tick bus_free_at_ = 0;
   Tick read_dwell_until_ = 0;
   std::uint64_t next_entry_id_ = 0;
   Tick next_kick_at_ = std::numeric_limits<Tick>::max();
+  std::vector<Tick> kick_inflight_;  ///< ticks with a wake-up event in flight
+  KickStats kick_stats_;
 
   counters::McChannelCounters counters_;
 };
