@@ -5,12 +5,18 @@
 #   ctest -R bench_sim_perf_json
 #
 # Expects: BENCH_BIN (benchmark executable), OUT_JSON (output path), and
-# optionally MIN_TIME (per-benchmark min running time, seconds).
+# optionally MIN_TIME (per-benchmark min running time, seconds) and
+# REPETITIONS (independent repeats per benchmark; scripts/bench_compare.py
+# averages the raw entries per name, which keeps single-run jitter on the
+# fast microbenchmarks from tripping the regression gate).
 if(NOT DEFINED BENCH_BIN OR NOT DEFINED OUT_JSON)
   message(FATAL_ERROR "RunBench.cmake needs -DBENCH_BIN=... and -DOUT_JSON=...")
 endif()
 if(NOT DEFINED MIN_TIME)
   set(MIN_TIME 0.1)
+endif()
+if(NOT DEFINED REPETITIONS)
+  set(REPETITIONS 1)
 endif()
 
 execute_process(
@@ -18,6 +24,7 @@ execute_process(
           --benchmark_out=${OUT_JSON}
           --benchmark_out_format=json
           --benchmark_min_time=${MIN_TIME}
+          --benchmark_repetitions=${REPETITIONS}
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "${BENCH_BIN} failed with exit code ${rc}")

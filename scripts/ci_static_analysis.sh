@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# The static-analysis / checked-build CI gate (ISSUE: hostnet-check).
+#
+# One entry point, exit 0 = the tree is clean:
+#   1. format      scripts/format_check.sh (clang-format or python fallback)
+#   2. lint        tools/hostnet_lint.py over src/ bench/ tests/ examples/
+#   3. clang-tidy  full build with -DHOSTNET_LINT=ON (.clang-tidy,
+#                  warnings-as-errors); SKIPPED with a notice when
+#                  clang-tidy is not installed (this container ships none)
+#   4. checked     full tier-1 suite under -DHOSTNET_CHECKED=ON: every
+#                  HOSTNET_INVARIANT live, death tests included
+#   5. sanitizers  full suite under ASan+UBSan and TSan
+#   6. perf        release bench_sim_perf vs bench/baselines/: checked
+#                  instrumentation must compile out of release builds, so a
+#                  >10% BM_HostSimulation regression fails the gate
+#
+# Usage: scripts/ci_static_analysis.sh [--quick]
+#   --quick   steps 1-4 only (no sanitizer rebuilds, no benchmark): the
+#             fast pre-push loop.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+jobs="$(nproc)"
+
+step() { printf '\n=== ci_static_analysis: %s ===\n' "$1"; }
+
+step "1/6 format check"
+scripts/format_check.sh
+
+step "2/6 hostnet-lint"
+python3 tools/hostnet_lint.py
+
+step "3/6 clang-tidy build"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build-tidy -S . -DHOSTNET_LINT=ON >/dev/null
+  cmake --build build-tidy -j "${jobs}"
+else
+  echo "SKIP: clang-tidy not installed; .clang-tidy is exercised where the" \
+       "toolchain provides it (tools/hostnet_lint.py covered the" \
+       "project-specific rules in step 2)"
+fi
+
+step "4/6 checked-invariant build + full tier-1 suite"
+cmake -B build-checked -S . -DHOSTNET_CHECKED=ON >/dev/null
+cmake --build build-checked -j "${jobs}"
+ctest --test-dir build-checked -LE perf -j "${jobs}" --output-on-failure
+
+if [[ ${quick} -eq 1 ]]; then
+  step "quick mode: skipping sanitizers + perf gate"
+  echo "ci_static_analysis: OK (quick)"
+  exit 0
+fi
+
+step "5/6 sanitizers (ASan+UBSan, then TSan) over the full suite"
+scripts/run_asan_ubsan_tests.sh build-asan
+scripts/run_tsan_pool_tests.sh build-tsan
+
+step "6/6 release perf gate (checked instrumentation must compile out)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${jobs}"
+ctest --test-dir build -R bench_sim_perf_json --output-on-failure
+python3 scripts/bench_compare.py \
+  bench/baselines/BENCH_sim_perf.main.json build/BENCH_sim_perf.json \
+  --threshold 0.10
+
+echo
+echo "ci_static_analysis: OK"

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Formatting gate for the C++ tree (src/ bench/ tests/ examples/ + tools/).
+#
+# With clang-format installed: `clang-format --dry-run -Werror` against the
+# committed .clang-format -- any diff fails. Without it (the CI container
+# ships only gcc + python3), falls back to a pure-python whitespace check
+# that catches the mechanical offences a formatter would: trailing
+# whitespace, tab indentation in C++ sources, CRLF line endings, and a
+# missing final newline.
+#
+# Usage: scripts/format_check.sh [--fix]
+#   --fix   rewrite files in place (clang-format -i, or python fallback
+#           stripping trailing whitespace / normalizing endings).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+fix=0
+[[ "${1:-}" == "--fix" ]] && fix=1
+
+mapfile -t files < <(find src bench tests examples -name '*.hpp' -o -name '*.cpp' -o -name '*.h' | sort)
+
+if command -v clang-format >/dev/null 2>&1; then
+  if [[ ${fix} -eq 1 ]]; then
+    clang-format -i "${files[@]}"
+    echo "format_check: clang-format -i applied to ${#files[@]} file(s)"
+  else
+    clang-format --dry-run -Werror "${files[@]}"
+    echo "format_check: OK (clang-format, ${#files[@]} file(s))"
+  fi
+  exit 0
+fi
+
+echo "format_check: clang-format not found; using python whitespace fallback" >&2
+python3 - "$fix" "${files[@]}" <<'PY'
+import sys
+
+fix = sys.argv[1] == "1"
+paths = sys.argv[2:]
+problems = 0
+for path in paths:
+    with open(path, "rb") as f:
+        data = f.read()
+    orig = data
+    msgs = []
+    if b"\r\n" in data:
+        msgs.append("CRLF line endings")
+        data = data.replace(b"\r\n", b"\n")
+    if b"\t" in data:
+        # Tabs are never used for indentation in this tree; report only
+        # (an automatic tab->space rewrite needs a human eye on alignment).
+        msgs.append("tab character")
+    lines = data.split(b"\n")
+    if any(l != l.rstrip() for l in lines):
+        msgs.append("trailing whitespace")
+        data = b"\n".join(l.rstrip() for l in lines)
+    if data and not data.endswith(b"\n"):
+        msgs.append("missing final newline")
+        data += b"\n"
+    if msgs:
+        problems += 1
+        print(f"{path}: {', '.join(msgs)}")
+        if fix and data != orig and b"\t" not in orig:
+            with open(path, "wb") as f:
+                f.write(data)
+            print(f"{path}: fixed")
+if problems and not fix:
+    print(f"format_check: {problems} file(s) need attention "
+          "(run scripts/format_check.sh --fix)", file=sys.stderr)
+    sys.exit(1)
+print(f"format_check: OK (fallback, {len(paths)} file(s))")
+PY

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Builds the test suite with ThreadSanitizer and runs the parallel sweep
-# engine tests (worker pool + parallel experiment sweeps) plus the MC/CHA
-# unit and property tests (the slot-arena scheduler and ring-buffer queues
-# run inside every sweep worker). Guards the threading model documented in
-# DESIGN.md: one HostSystem per job, no shared mutable state between
-# workers.
+# Builds the test suite with ThreadSanitizer and runs the full tier-1 suite
+# (perf-labeled benchmark jobs excluded) -- most importantly the parallel
+# sweep engine tests (worker pool + parallel experiment sweeps), since the
+# slot-arena scheduler and ring-buffer queues run inside every sweep worker.
+# Guards the threading model documented in DESIGN.md: one HostSystem per
+# job, no shared mutable state between workers.
 #
 # Usage: scripts/run_tsan_pool_tests.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -18,5 +18,5 @@ cmake --build "${build_dir}" --target hostnet_tests -j "$(nproc)"
 
 # TSan halts on the first data race so a regression fails the run loudly.
 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir "${build_dir}" --output-on-failure \
-    -R 'RunParallel|ParallelSweep|McChannel|McRandom|McArena|McKick|SlotQueue|Cha'
+  ctest --test-dir "${build_dir}" --output-on-failure -LE perf \
+    -j "$(nproc)"

@@ -11,6 +11,8 @@ Cha::Cha(sim::Simulator& sim, const ChaConfig& cfg, mc::MemoryController& mc)
     p.read_tokens = cfg_.read_fwd_window;
     p.write_tokens = cfg_.write_fwd_window;
   }
+  read_tor_ledger_.set_capacity(cfg_.read_tor);
+  write_tracker_ledger_.set_capacity(cfg_.write_tracker);
   if (cfg_.ddio) ddio_.emplace(cfg_.ddio_capacity_bytes, cfg_.ddio_ways);
 }
 
@@ -31,9 +33,11 @@ bool Cha::try_submit(mem::Request req) {
   req.cha_accepted = sim_.now();
   if (req.op == mem::Op::kRead) {
     ++read_tor_used_;
+    read_tor_ledger_.acquire();
     start_read(req);
   } else {
     ++write_tracker_used_;
+    write_tracker_ledger_.acquire();
     write_backlog_occ_.add(sim_.now(), +1);
     update_backpressure();
     start_write(req);
@@ -204,12 +208,14 @@ void Cha::on_rpq_slot_freed(std::uint32_t channel, Tick /*now*/) {
 void Cha::free_read_tor() {
   assert(read_tor_used_ > 0);
   --read_tor_used_;
+  read_tor_ledger_.release();
   notify_waiters(mem::Op::kRead);
 }
 
 void Cha::free_write_tracker() {
   assert(write_tracker_used_ > 0);
   --write_tracker_used_;
+  write_tracker_ledger_.release();
   write_backlog_occ_.add(sim_.now(), -1);
   update_backpressure();
   notify_waiters(mem::Op::kWrite);

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cache/ddio.hpp"
+#include "common/check.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/stats.hpp"
 #include "counters/station.hpp"
@@ -121,6 +122,13 @@ class Cha final : public mc::ChannelListener {
 
   void reset_counters(Tick now);
 
+  /// Checked-build audit (no-op otherwise): tracker-pool conservation --
+  /// admissions minus frees equals the in-use counters, within capacity.
+  void verify_invariants() const {
+    read_tor_ledger_.verify(read_tor_used_, "cha.read-tor");
+    write_tracker_ledger_.verify(write_tracker_used_, "cha.write-tracker");
+  }
+
  private:
   struct Transit {
     mem::Request req;
@@ -157,6 +165,8 @@ class Cha final : public mc::ChannelListener {
   std::vector<Port> ports_;
   std::uint32_t read_tor_used_ = 0;
   std::uint32_t write_tracker_used_ = 0;
+  CreditLedger read_tor_ledger_;        ///< empty shells unless HOSTNET_CHECKED
+  CreditLedger write_tracker_ledger_;
   RingBuffer<ChaClient*> read_waiters_;
   RingBuffer<ChaClient*> cpu_write_waiters_;
   RingBuffer<ChaClient*> peripheral_write_waiters_;

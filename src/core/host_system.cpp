@@ -59,7 +59,15 @@ void HostSystem::run(Tick warmup, Tick measure) {
 
 void HostSystem::run_more(Tick extra) { sim_.run_until(sim_.now() + extra); }
 
+void HostSystem::verify_invariants() const {
+  mc_->verify_invariants();
+  cha_->verify_invariants();
+  for (const auto& i : iios_) i->verify_invariants();
+  for (const auto& c : cores_) c->verify_invariants();
+}
+
 void HostSystem::reset_counters() {
+  verify_invariants();
   const Tick now = sim_.now();
   measure_start_ = now;
   mc_->reset_counters(now);
@@ -71,6 +79,7 @@ void HostSystem::reset_counters() {
 }
 
 Metrics HostSystem::collect() {
+  verify_invariants();
   const Tick now = sim_.now();
   Metrics m;
   m.window_ns = to_ns(now - measure_start_);

@@ -65,6 +65,13 @@ class HostSystem {
   /// (Non-const: occupancy integrals are brought up to `now`.)
   Metrics collect();
 
+  /// Audit the whole host at a quiesce point (between events): credit
+  /// conservation in every flow-control domain, MC arena integrity, and
+  /// bank-ownership bijection. Aborts with a diagnostic under
+  /// HOSTNET_CHECKED builds; compiles to nothing otherwise. Called
+  /// automatically from reset_counters() and collect(). See DESIGN.md 4c.
+  void verify_invariants() const;
+
   const HostConfig& config() const { return cfg_; }
   sim::Simulator& sim() { return sim_; }
   cha::Cha& cha() { return *cha_; }

@@ -9,7 +9,9 @@ namespace hostnet::cpu {
 
 Core::Core(sim::Simulator& sim, cha::Cha& cha, const CoreConfig& cfg,
            const CoreWorkload& wl, std::uint16_t id, std::uint64_t seed)
-    : sim_(sim), cha_(cha), cfg_(cfg), wl_(wl), id_(id), rng_(seed) {}
+    : sim_(sim), cha_(cha), cfg_(cfg), wl_(wl), id_(id), rng_(seed) {
+  lfb_ledger_.set_capacity(lfb_capacity());
+}
 
 std::uint32_t Core::lfb_capacity() const {
   // The streaming prefetcher only helps predictable (sequential) patterns;
@@ -85,6 +87,7 @@ void Core::pump() {
 
 void Core::issue_read(std::uint64_t addr, bool is_store) {
   ++inflight_;
+  lfb_ledger_.acquire();
   const Tick now = sim_.now();
   lfb_station_.enter(now);
   mem::Request req;
@@ -147,6 +150,7 @@ void Core::complete(const mem::Request& req, Tick now) {
     }
     assert(inflight_ > 0);
     --inflight_;
+    lfb_ledger_.release();
     lfb_station_.leave(now, req.created);
     if (auto* tr = sim::Tracer::global())
       tr->complete_event("c2m-read", "domain", req.created, now - req.created,
@@ -156,6 +160,7 @@ void Core::complete(const mem::Request& req, Tick now) {
     ++lines_written_;
     assert(inflight_ > 0);
     --inflight_;
+    lfb_ledger_.release();
     lfb_station_.leave(now, req.created);
     write_station_.leave(now, static_cast<Tick>(req.tag));
     if (auto* tr = sim::Tracer::global())

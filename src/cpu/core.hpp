@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "cha/cha.hpp"
+#include "common/check.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
 #include "counters/station.hpp"
@@ -82,6 +83,11 @@ class Core final : public mem::Completer, public cha::ChaClient {
   std::uint64_t queries() const { return queries_; }
   void reset_counters(Tick now);
 
+  /// Checked-build audit (no-op otherwise): C2M request conservation --
+  /// every issued access completed or still holds its LFB entry, and the
+  /// holdings never exceeded the LFB capacity.
+  void verify_invariants() const { lfb_ledger_.verify(inflight_, "cpu.lfb"); }
+
  private:
   std::uint32_t lfb_capacity() const;
   bool episodic() const { return wl_.episode_reads + wl_.episode_writes > 0; }
@@ -101,6 +107,7 @@ class Core final : public mem::Completer, public cha::ChaClient {
   Rng rng_;
 
   std::uint32_t inflight_ = 0;        ///< LFB entries in use
+  CreditLedger lfb_ledger_;           ///< issue/complete ledger; empty shell unless checked
   std::uint64_t seq_line_ = 0;
   bool think_pending_ = false;
   bool paused_ = false;

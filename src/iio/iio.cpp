@@ -7,7 +7,10 @@
 namespace hostnet::iio {
 
 Iio::Iio(sim::Simulator& sim, cha::Cha& cha, const IioConfig& cfg, std::uint16_t id)
-    : sim_(sim), cha_(cha), cfg_(cfg), id_(id) {}
+    : sim_(sim), cha_(cha), cfg_(cfg), id_(id) {
+  write_ledger_.set_capacity(cfg_.write_credits);
+  read_ledger_.set_capacity(cfg_.read_credits);
+}
 
 bool Iio::try_dma(mem::Op op, std::uint64_t addr, Device* dev, std::uint64_t tag) {
   const Tick now = sim_.now();
@@ -25,6 +28,7 @@ bool Iio::try_dma(mem::Op op, std::uint64_t addr, Device* dev, std::uint64_t tag
       return false;
     }
     ++write_in_use_;
+    write_ledger_.acquire();
     write_station_.enter(now);
     sim_.schedule(cfg_.t_proc_write + cfg_.t_to_cha, [this, req] { submit(req); });
     return true;
@@ -35,6 +39,7 @@ bool Iio::try_dma(mem::Op op, std::uint64_t addr, Device* dev, std::uint64_t tag
     return false;
   }
   ++read_in_use_;
+  read_ledger_.acquire();
   read_station_.enter(now);
   // Remember who gets the data back.
   std::uint64_t slot = pending_reads_.size();
@@ -80,6 +85,7 @@ void Iio::complete(const mem::Request& req, Tick now) {
     // Admitted to the MC WPQ: P2M-Write credit replenished.
     assert(write_in_use_ > 0);
     --write_in_use_;
+    write_ledger_.release();
     write_station_.leave(now, req.created);
     if (auto* tr = sim::Tracer::global()) {
       tr->complete_event("p2m-write", "domain", req.created, now - req.created,
@@ -93,6 +99,7 @@ void Iio::complete(const mem::Request& req, Tick now) {
   // PCIe non-posted transaction back to the device.
   assert(read_in_use_ > 0);
   --read_in_use_;
+  read_ledger_.release();
   read_station_.leave(now, req.created);
   if (auto* tr = sim::Tracer::global())
     tr->complete_event("p2m-read", "domain", req.created, now - req.created,

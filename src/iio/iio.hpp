@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cha/cha.hpp"
+#include "common/check.hpp"
 #include "common/ring_buffer.hpp"
 #include "counters/station.hpp"
 #include "mem/request.hpp"
@@ -64,6 +65,14 @@ class Iio final : public mem::Completer, public cha::ChaClient {
   counters::LatencyStation& read_station() { return read_station_; }
   void reset_counters(Tick now);
 
+  /// Checked-build audit (no-op otherwise): P2M credit conservation --
+  /// credits outstanding plus free equals the configured pool on both the
+  /// read and write side.
+  void verify_invariants() const {
+    write_ledger_.verify(write_in_use_, "iio.write-credits");
+    read_ledger_.verify(read_in_use_, "iio.read-credits");
+  }
+
  private:
   struct Blocked {
     mem::Request req;
@@ -80,6 +89,8 @@ class Iio final : public mem::Completer, public cha::ChaClient {
 
   std::uint32_t write_in_use_ = 0;
   std::uint32_t read_in_use_ = 0;
+  CreditLedger write_ledger_;  ///< empty shells unless HOSTNET_CHECKED
+  CreditLedger read_ledger_;
   RingBuffer<Blocked> blocked_reads_;
   RingBuffer<Blocked> blocked_writes_;
   RingBuffer<Device*> write_waiters_;

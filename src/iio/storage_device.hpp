@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
 #include "iio/iio.hpp"
 #include "mem/request.hpp"
@@ -72,7 +72,7 @@ class StorageDevice final : public Device {
   Rng rng_{0x5707A6EULL};
 
   std::vector<Slot> slots_;
-  std::deque<std::uint32_t> ready_order_;  ///< slots with lines left to issue
+  RingBuffer<std::uint32_t> ready_order_;  ///< slots with lines left to issue
   std::uint64_t next_region_line_ = 0;
   std::uint64_t interleave_counter_ = 0;
   static constexpr std::uint64_t kInterleaveLines = 16;  ///< 1 KB bursts per stream

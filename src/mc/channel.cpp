@@ -22,6 +22,7 @@ Channel::Channel(sim::Simulator& sim, const ChannelConfig& cfg, std::uint32_t ba
   // between fires (stale-write deadlines plus near-term bus/bank kicks);
   // reserve enough that the tracking itself never allocates in steady state.
   kick_inflight_.reserve(64);
+  occupancy_ledger_.set_capacity(cfg.rpq_capacity + cfg.wpq_capacity);
 }
 
 void Channel::enqueue_read(const mem::Request& req, const dram::Coord& coord) {
@@ -32,6 +33,7 @@ void Channel::enqueue_read(const mem::Request& req, const dram::Coord& coord) {
   // a mode switch) marks the scan dirty at its own site.
   if (mode_ == Mode::kRead && rpq_.in_window(slot) && bank_pending_[coord.bank] == -1)
     prep_dirty_ = true;
+  occupancy_ledger_.acquire();
   counters_.rpq_occ.add(sim_.now(), +1);
   kick();
 }
@@ -41,6 +43,7 @@ void Channel::enqueue_write(const mem::Request& req, const dram::Coord& coord) {
   const auto slot = wpq_.push_back(req, coord, sim_.now(), next_entry_id_++);
   if (mode_ == Mode::kWrite && wpq_.in_window(slot) && bank_pending_[coord.bank] == -1)
     prep_dirty_ = true;
+  occupancy_ledger_.acquire();
   counters_.wpq_occ.add(sim_.now(), +1);
   // A lone write enqueued while the controller idles in read mode must not
   // wait forever: arm the stale-write timer.
@@ -145,6 +148,7 @@ bool Channel::try_issue(Tick now) {
 
   const Entry e = q.entry(it);
   q.erase(it);
+  occupancy_ledger_.release();
   bank_pending_[e.coord.bank] = -1;
   prep_dirty_ = true;  // a bank freed and the prep window slid forward
   // Row-buffer outcomes are accounted per issued line (formula inputs are
@@ -221,6 +225,40 @@ void Channel::on_kick_event(Tick at) {
   }
   next_kick_at_ = std::numeric_limits<Tick>::max();
   kick();
+}
+
+void Channel::verify_invariants() const {
+#if HOSTNET_CHECKED
+  rpq_.verify_arena("mc.rpq");
+  wpq_.verify_arena("mc.wpq");
+  // Request conservation through the channel: every enqueued entry was
+  // either issued to DRAM or still occupies an arena slot.
+  occupancy_ledger_.verify(rpq_.size() + wpq_.size(), "mc.queue-occupancy");
+  // Bank-ownership bijection: every prepped entry owns its bank, and every
+  // owned bank names a live prepped entry.
+  const SlotQueue* queues[] = {&rpq_, &wpq_};
+  std::uint32_t prepped_total = 0;
+  for (const SlotQueue* q : queues) {
+    for (auto i = q->prepped_head(); i != SlotQueue::kNil; i = q->prepped_next(i)) {
+      const Entry& e = q->entry(i);
+      HOSTNET_INVARIANT(e.coord.bank < bank_pending_.size() &&
+                            bank_pending_[e.coord.bank] == static_cast<std::int64_t>(e.id),
+                        "mc.bank-ownership: prepped entry id %llu does not own bank %u "
+                        "(owner id %lld)",
+                        static_cast<unsigned long long>(e.id), e.coord.bank,
+                        static_cast<long long>(
+                            e.coord.bank < bank_pending_.size() ? bank_pending_[e.coord.bank]
+                                                                : -1));
+      ++prepped_total;
+    }
+  }
+  std::uint32_t banks_owned = 0;
+  for (const std::int64_t id : bank_pending_)
+    if (id >= 0) ++banks_owned;
+  HOSTNET_INVARIANT(banks_owned == prepped_total,
+                    "mc.bank-ownership: %u banks owned but %u entries prepped", banks_owned,
+                    prepped_total);
+#endif
 }
 
 void Channel::kick() {

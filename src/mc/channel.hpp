@@ -24,6 +24,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/check.hpp"
 #include "counters/mc_counters.hpp"
 #include "dram/address_map.hpp"
 #include "dram/bank.hpp"
@@ -99,6 +100,11 @@ class Channel {
   };
   const KickStats& kick_stats() const { return kick_stats_; }
 
+  /// Checked-build audit (no-op otherwise): slot-arena structure of both
+  /// queues, enqueue/issue conservation, and the bank-ownership bijection
+  /// between bank_pending_ and the prepped sublists (DESIGN.md section 4c).
+  void verify_invariants() const;
+
  private:
   enum class Mode : std::uint8_t { kRead, kWrite };
 
@@ -134,6 +140,7 @@ class Channel {
   Tick next_kick_at_ = std::numeric_limits<Tick>::max();
   std::vector<Tick> kick_inflight_;  ///< ticks with a wake-up event in flight
   KickStats kick_stats_;
+  CreditLedger occupancy_ledger_;  ///< enqueues vs issues; empty shell unless checked
 
   counters::McChannelCounters counters_;
 };

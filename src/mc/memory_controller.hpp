@@ -30,6 +30,11 @@ class MemoryController {
     for (auto& c : channels_) c->reset_counters(now);
   }
 
+  /// Checked-build audit of every channel scheduler (no-op otherwise).
+  void verify_invariants() const {
+    for (const auto& c : channels_) c->verify_invariants();
+  }
+
   void set_listener(ChannelListener* l) {
     for (auto& c : channels_) c->set_listener(l);
   }

@@ -41,6 +41,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/units.hpp"
 #include "dram/address_map.hpp"
 #include "dram/bank.hpp"
@@ -215,6 +216,84 @@ class SlotQueue {
     free_head_ = i;
     --size_;
   }
+
+#if HOSTNET_CHECKED
+  /// Quiesce-point audit of the arena (DESIGN.md section 4c): walks every
+  /// intrusive list and cross-checks them against the counters and the
+  /// header-comment invariants. The running `<= capacity` guards turn a
+  /// cycle in a corrupted list into an abort instead of a hang.
+  void verify_arena(const char* name) const {
+    const auto cap = static_cast<std::uint32_t>(slots_.size());
+    // FIFO list: length == size_, ascending entry ids, prepped ⊆ window.
+    std::uint32_t fifo = 0, window_seen = 0;
+    std::uint64_t last_id = 0;
+    for (SlotIndex i = head_; i != kNil; i = slots_[i].next) {
+      const Slot& s = slots_[i];
+      HOSTNET_INVARIANT(fifo == 0 || s.e.id > last_id,
+                        "%s: FIFO list out of age order at slot %u (id %llu after %llu)",
+                        name, i, static_cast<unsigned long long>(s.e.id),
+                        static_cast<unsigned long long>(last_id));
+      last_id = s.e.id;
+      if (s.in_window) ++window_seen;
+      HOSTNET_INVARIANT(!s.e.prepped || s.in_window,
+                        "%s: prepped entry id %llu sits outside the prep window", name,
+                        static_cast<unsigned long long>(s.e.id));
+      HOSTNET_INVARIANT(++fifo <= cap, "%s: FIFO list cycles (> %u slots)", name, cap);
+    }
+    HOSTNET_INVARIANT(fifo == size_, "%s: FIFO list holds %u entries but size() is %u",
+                      name, fifo, static_cast<std::uint32_t>(size_));
+    HOSTNET_INVARIANT(window_seen == (size_ < window_ ? size_ : window_),
+                      "%s: %u entries flagged in-window but the first min(size %u, "
+                      "window %u) FIFO positions define the window",
+                      name, window_seen, static_cast<std::uint32_t>(size_), window_);
+    // Prepped sublist: length == prepped_count_, ascending ids, all flagged.
+    std::uint32_t prepped = 0;
+    Tick min_ready = kNoReady;
+    last_id = 0;
+    for (SlotIndex i = phead_; i != kNil; i = slots_[i].pnext) {
+      const Slot& s = slots_[i];
+      HOSTNET_INVARIANT(s.e.prepped, "%s: unprepped entry id %llu on the prepped list",
+                        name, static_cast<unsigned long long>(s.e.id));
+      HOSTNET_INVARIANT(prepped == 0 || s.e.id > last_id,
+                        "%s: prepped list out of age order at slot %u", name, i);
+      last_id = s.e.id;
+      min_ready = s.e.row_ready_at < min_ready ? s.e.row_ready_at : min_ready;
+      HOSTNET_INVARIANT(++prepped <= cap, "%s: prepped list cycles (> %u slots)", name, cap);
+    }
+    HOSTNET_INVARIANT(prepped == prepped_count_,
+                      "%s: prepped list holds %u entries but prepped_count() is %u", name,
+                      prepped, prepped_count_);
+    HOSTNET_INVARIANT(ready_dirty_ || earliest_ready_ == min_ready,
+                      "%s: earliest_ready tracker %lld != min(row_ready_at) %lld", name,
+                      static_cast<long long>(earliest_ready_),
+                      static_cast<long long>(min_ready));
+    // Unprepped-in-window sublist: exactly window \ prepped, never prepped.
+    std::uint32_t uw = 0;
+    for (SlotIndex i = uw_head_; i != kNil; i = slots_[i].wnext) {
+      const Slot& s = slots_[i];
+      HOSTNET_INVARIANT(s.in_window && !s.e.prepped,
+                        "%s: unprepped-window list entry id %llu is %s", name,
+                        static_cast<unsigned long long>(s.e.id),
+                        s.e.prepped ? "prepped" : "outside the window");
+      HOSTNET_INVARIANT(++uw <= cap, "%s: unprepped-window list cycles (> %u slots)", name,
+                        cap);
+    }
+    HOSTNET_INVARIANT(uw == window_seen - prepped,
+                      "%s: unprepped-window list holds %u entries, expected %u in-window "
+                      "minus %u prepped",
+                      name, uw, window_seen, prepped);
+    // Free list + live entries must tile the arena exactly (slot leak check:
+    // "arena occupancy == queue depth").
+    std::uint32_t free_slots = 0;
+    for (SlotIndex i = free_head_; i != kNil; i = slots_[i].next)
+      HOSTNET_INVARIANT(++free_slots <= cap, "%s: free list cycles (> %u slots)", name, cap);
+    HOSTNET_INVARIANT(free_slots + size_ == cap,
+                      "%s: arena slot leak: %u free + %u live != %u slots", name, free_slots,
+                      static_cast<std::uint32_t>(size_), cap);
+  }
+#else
+  void verify_arena(const char*) const {}
+#endif
 
   /// min(row_ready_at) over prepped entries, kNoReady when none are prepped.
   /// Maintained incrementally; recomputes (bounded by the bank count) only

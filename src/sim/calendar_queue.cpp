@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "common/check.hpp"
+
 namespace hostnet::sim {
 
 namespace {
@@ -26,6 +28,13 @@ constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
 void CalendarQueue::push(Tick at, Event ev) {
   assert(at >= win_start_ && "cannot schedule before the current window");
+  // cursor_ is the last popped tick: a push behind it could never fire and
+  // would silently break same-tick FIFO determinism.
+  HOSTNET_INVARIANT(at >= cursor_ && at >= win_start_,
+                    "calendar-queue monotonicity: push at tick %lld behind "
+                    "cursor %lld (window start %lld)",
+                    static_cast<long long>(at), static_cast<long long>(cursor_),
+                    static_cast<long long>(win_start_));
   ++size_;
   if (at < win_start_ + Tick(kNumSlots)) {
     // Hot path: within the current window -- append to the one-tick slot.
@@ -101,7 +110,7 @@ void CalendarQueue::advance_to(Tick target) {
   }
 }
 
-Tick CalendarQueue::next_tick() {
+Tick CalendarQueue::next_tick(Tick bound) {
   if (size_ == 0) return kNoEvent;
   // Fast path: the slot at the cursor tick still holds unpopped events
   // (common when many events share a tick), so no bitmap scan is needed.
@@ -119,6 +128,12 @@ Tick CalendarQueue::next_tick() {
       if (target == kNoEvent || k < target) target = k;
     }
     assert(target != kNoEvent && "size_ > 0 but no events found");
+    // Every pending event is at >= target. If that is past the caller's
+    // horizon, report "nothing to run" WITHOUT advancing: the caller's clock
+    // stops at `bound`, and a committed jump would strand later pushes in
+    // [clock, target) behind the window (they'd be filed into the wrong
+    // window's slot and fire late).
+    if (target > bound) return kNoEvent;
     advance_to(target);
   }
 }

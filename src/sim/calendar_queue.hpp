@@ -46,14 +46,22 @@ class CalendarQueue {
   /// Ticks at or beyond win_start + kHorizon go to the overflow map.
   static constexpr Tick kHorizon = Tick(1) << (kSlotBits + kBucketBits);
   static constexpr Tick kNoEvent = -1;
+  /// Default next_tick() bound: never refuse a window advance.
+  static constexpr Tick kNoBound = ~(Tick(1) << 63);
 
   /// Append `ev` to tick `at`'s FIFO. `at` must be >= the last popped tick.
   void push(Tick at, Event ev);
 
-  /// Tick of the earliest pending event, or kNoEvent when empty. Advances
-  /// the L0 window (an order-preserving migration) when the current window
-  /// is drained.
-  Tick next_tick();
+  /// Tick of the earliest pending event, or kNoEvent when empty or when
+  /// every pending event is provably later than `bound`. Advances the L0
+  /// window (an order-preserving migration) when the current window is
+  /// drained -- but never past `bound`: committing the window beyond the
+  /// caller's horizon would mis-file later pushes that target ticks between
+  /// the caller's clock and the jumped-to window (they would land in a slot
+  /// of the wrong window and fire late). A caller that stops at `bound`
+  /// (Simulator::run_until) must pass it; unbounded callers (step) use the
+  /// default.
+  Tick next_tick(Tick bound = kNoBound);
 
   /// Pop the front event of tick `at`, which must be the value just
   /// returned by next_tick().
@@ -96,6 +104,9 @@ class CalendarQueue {
   std::array<std::vector<TimedEvent>, kNumBuckets> buckets_;
   std::array<std::uint64_t, kNumSlots / 64> slot_bits_{};
   std::array<std::uint64_t, kNumBuckets / 64> bucket_bits_{};
+  // Beyond-horizon ticks are rare (device latencies, protocol timers) and
+  // never on the per-event path, so an exact-tick ordered map is fine here.
+  // hostnet-lint: allow(hot-alloc)
   std::map<Tick, std::vector<Event>> overflow_;
 };
 

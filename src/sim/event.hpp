@@ -38,9 +38,26 @@ class Event {
             typename = std::enable_if_t<!std::is_same_v<D, Event> && std::is_invocable_v<D&>>>
   Event(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for std::function
     if constexpr (fits_inline<D>()) {
+      // The three properties the inline representation relies on, spelled
+      // out (fits_inline() implies them; restated so a change there cannot
+      // silently weaken the contract): the closure must fit the buffer,
+      // must not be over-aligned for it, and must tolerate the memcpy-based
+      // move in move_from().
+      static_assert(sizeof(D) <= kInlineBytes, "closure exceeds the inline event buffer");
+      static_assert(alignof(D) <= alignof(std::max_align_t),
+                    "over-aligned closure cannot use the inline event buffer");
+      static_assert(std::is_trivially_copyable_v<D>,
+                    "inline event closures must be trivially copyable (moved by memcpy)");
       ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
       ops_ = &InlineOps<D>::ops;
     } else {
+      // Cold fallback for owning/large/over-aligned callables (setup and
+      // control paths only); every steady-state closure takes the inline
+      // branch above, as enforced by the static_asserts at the hot-path
+      // call sites. The stored representation is a plain D*, which is
+      // itself trivially copyable, so the same memcpy move applies.
+      static_assert(std::is_trivially_copyable_v<D*>);
+      // hostnet-lint: allow(hot-alloc)
       ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
       ops_ = &HeapOps<D>::ops;
     }
@@ -88,6 +105,22 @@ class Event {
            std::is_trivially_copyable_v<D>;
   }
 
+  // The tree's one reinterpret_cast (audited in DESIGN.md section 4c). It is
+  // well-defined because every call site upholds three preconditions:
+  //  (1) identity: `s` is storage_ of an Event whose constructor
+  //      placement-new'ed exactly a D (inline branch) or a D* (heap branch)
+  //      there -- ops_ and D are selected together, so type confusion would
+  //      require corrupting ops_;
+  //  (2) alignment: storage_ is alignas(max_align_t) and fits_inline()
+  //      rejects alignof(D) > max_align_t, so the cast pointer is aligned;
+  //  (3) lifetime: the object's lifetime was started by placement new and,
+  //      for moved Events, the memcpy in move_from() preserves it because
+  //      the stored type is trivially copyable in both branches.
+  // std::launder is still required: storage_ is reused across different
+  // closure types over the Event's life, and without it the compiler may
+  // fold loads from the previous occupant. std::bit_cast is not applicable
+  // (it copies values; this must alias in place), and a memcpy into a local
+  // would defeat the zero-copy invoke path.
   template <typename D>
   static D* as(void* s) noexcept {
     return std::launder(reinterpret_cast<D*>(s));

@@ -3,10 +3,16 @@
 #include <cassert>
 #include <utility>
 
+#include "common/check.hpp"
+
 namespace hostnet::sim {
 
 void Simulator::schedule_at(Tick at, Event fn) {
   assert(at >= now_ && "cannot schedule into the past");
+  HOSTNET_INVARIANT(at >= now_,
+                    "simulator time monotonicity: event scheduled at tick %lld "
+                    "but the clock is already at %lld",
+                    static_cast<long long>(at), static_cast<long long>(now_));
   queue_.push(at, std::move(fn));
 }
 
@@ -22,7 +28,10 @@ bool Simulator::step() {
 
 void Simulator::run_until(Tick until) {
   for (;;) {
-    const Tick at = queue_.next_tick();
+    // Bounding next_tick keeps the queue's L0 window at or behind `until`,
+    // so anything scheduled after this run (at >= now() = until) can never
+    // land behind the window. See CalendarQueue::next_tick.
+    const Tick at = queue_.next_tick(until);
     if (at == CalendarQueue::kNoEvent || at > until) break;
     Event fn = queue_.pop_at(at);
     now_ = at;

@@ -1,0 +1,5 @@
+// Fixture: an allow() naming a check id that does not exist is itself an
+// error (typos must not silently disable nothing).
+#include <cstdlib>
+
+int roll() { return rand() % 6; }  // hostnet-lint: allow(no-such-check)

@@ -1,0 +1,10 @@
+// Fixture: a header relying on classic include guards instead of the
+// project's pragma-based idiom must be flagged.
+#ifndef HOSTNET_TESTS_LINT_FIXTURES_BAD_PRAGMA_ONCE_HPP_
+#define HOSTNET_TESTS_LINT_FIXTURES_BAD_PRAGMA_ONCE_HPP_
+
+struct Unguarded {
+  int x;
+};
+
+#endif

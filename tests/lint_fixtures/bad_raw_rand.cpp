@@ -1,0 +1,12 @@
+// Fixture: unseeded / global randomness must be flagged.
+#include <cstdlib>
+#include <random>
+
+void reseed() { srand(42); }  // finding: raw-rand
+
+int roll() { return rand() % 6; }  // finding: raw-rand
+
+unsigned hw_entropy() {
+  std::random_device rd;  // finding: raw-rand
+  return rd();
+}

@@ -1,0 +1,15 @@
+// Fixture: range-for over an unordered container declared in this file --
+// the iteration order is unspecified and must not feed results.
+#include <string>
+#include <unordered_map>
+
+double total_latency(const std::unordered_map<int, double>& by_id);
+
+double sum_all() {
+  std::unordered_map<std::string, double> stats;
+  double sum = 0;
+  for (const auto& kv : stats) {  // finding: unordered-iter
+    sum += kv.second;
+  }
+  return sum;
+}

@@ -1,0 +1,17 @@
+// Fixture: every sanctioned wall-clock source must be flagged.
+#include <chrono>
+#include <ctime>
+
+long long now_ns() {
+  auto t = std::chrono::system_clock::now();  // finding: wall-clock
+  return t.time_since_epoch().count();
+}
+
+long long mono_ns() {
+  auto t = std::chrono::steady_clock::now();  // finding: wall-clock
+  return t.time_since_epoch().count();
+}
+
+long long unix_s() {
+  return time(NULL);  // finding: wall-clock
+}

@@ -1,0 +1,6 @@
+// Fixture: the project header idiom.
+#pragma once
+
+struct Guarded {
+  int x;
+};

@@ -1,0 +1,12 @@
+// Fixture: a seeded per-stream RNG (common/rng.hpp idiom) is fine, and
+// identifiers that merely contain "rand" must not be flagged.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return state_ += 0x9E3779B97f4A7C15ull; }
+  std::uint64_t state_;
+};
+
+std::uint64_t random_addr(Rng& rng) { return rng.next(); }
+std::uint64_t operand(Rng& rng) { return rng.next(); }

@@ -1,0 +1,18 @@
+// Fixture: point lookups into an unordered container are deterministic and
+// fine; only iteration is order-sensitive. Iterating a sorted vector is the
+// sanctioned way to walk aggregated results.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double lookup(const std::unordered_map<std::string, double>& stats,
+              const std::string& key) {
+  auto it = stats.find(key);
+  return it == stats.end() ? 0.0 : it->second;
+}
+
+double sum_sorted(const std::vector<double>& values) {
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum;
+}

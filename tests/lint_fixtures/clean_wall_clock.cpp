@@ -1,0 +1,13 @@
+// Fixture: simulated time from the simulator clock is the sanctioned source.
+// Mentions of system_clock inside comments and strings must not be flagged:
+// std::chrono::system_clock::now() is fine to *talk* about.
+#include <cstdint>
+
+struct Sim {
+  std::int64_t now() const { return now_; }
+  std::int64_t now_ = 0;
+};
+
+const char* kDoc = "never call std::chrono::system_clock::now() here";
+
+std::int64_t now_ticks(const Sim& sim) { return sim.now(); }

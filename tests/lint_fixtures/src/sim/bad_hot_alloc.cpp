@@ -1,0 +1,15 @@
+// Fixture: this file's path puts it in a hot-path subsystem (src/sim), so
+// per-element-allocating containers and new-expressions must be flagged.
+#include <deque>
+#include <functional>
+#include <map>
+
+struct Event {
+  std::function<void()> fn;  // finding: hot-alloc
+};
+
+std::deque<Event> pending;  // finding: hot-alloc
+
+std::map<long long, Event> overflow;  // finding: hot-alloc
+
+Event* make_event() { return new Event(); }  // finding: hot-alloc

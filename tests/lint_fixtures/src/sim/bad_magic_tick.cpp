@@ -1,0 +1,8 @@
+// Fixture: src/-path file with bare multi-digit literals on Tick lines.
+#include <cstdint>
+
+using Tick = std::int64_t;
+
+constexpr Tick kMysteryDelay = 2730;  // finding: magic-tick
+
+Tick stretch(Tick t) { return t + 40000; }  // finding: magic-tick

@@ -1,0 +1,12 @@
+// Fixture: tick constants spelled via the units.hpp helpers, and big
+// literals on non-Tick lines (e.g. byte counts), are fine.
+#include <cstdint>
+
+using Tick = std::int64_t;
+
+constexpr Tick ns(double v) { return static_cast<Tick>(v * 1000.0); }
+
+constexpr Tick kRowCycle = ns(46.09);
+constexpr std::uint64_t kRegionBytes = 1048576;
+
+Tick stretch(Tick t) { return t + ns(2.5); }

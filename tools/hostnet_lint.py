@@ -1,0 +1,333 @@
+#!/usr/bin/env python3
+"""hostnet-lint: project-specific static analysis for the hostnet simulator.
+
+The simulator's correctness story rests on two invariants that ordinary
+compilers do not enforce (DESIGN.md section 4c):
+
+  * determinism -- identical results for identical seeds, bit-identical
+    between serial and parallel sweeps. Wall-clock reads, unseeded RNG and
+    iteration order of unordered containers silently break it.
+  * allocation discipline -- the event/MC hot paths perform zero steady-state
+    allocations. A stray std::deque / std::function / std::map / new in the
+    hot-path subsystems silently breaks it.
+
+Checks (ids are stable; use them in suppressions):
+
+  wall-clock      std::chrono::{system,steady,high_resolution}_clock,
+                  gettimeofday / clock_gettime / time(NULL): simulated time
+                  comes only from sim::Simulator::now().
+  raw-rand        rand() / srand() / std::random_device: all randomness must
+                  flow from a seeded common/rng.hpp stream.
+  unordered-iter  range-for over a std::unordered_{map,set} declared in the
+                  same file: iteration order is unspecified and must not
+                  feed results or event ordering.
+  hot-alloc       std::deque / std::function / std::map / std::list /
+                  std::unordered_{map,set} / new-expressions inside the
+                  hot-path subsystems (src/sim, src/mc, src/cha, src/cpu,
+                  src/iio). Setup-path allocations that are genuinely
+                  one-time (and vector growth, which amortizes out) are
+                  fine -- suppress them explicitly with a justification.
+  pragma-once     every header must start its include guard with
+                  #pragma once.
+  magic-tick      4+-digit decimal literals on Tick-typed lines outside
+                  common/units.hpp: tick constants belong in units.hpp or
+                  behind its ns()/us()/ms() helpers.
+
+Suppression: append `// hostnet-lint: allow(<check>[, <check>...])` to the
+offending line, or put it alone on the line above. Suppressions are meant to
+carry a justification in the surrounding comment; `--list-allows` prints all
+of them for audit.
+
+Usage:
+    tools/hostnet_lint.py                  # lint src/ bench/ tests/ examples/
+    tools/hostnet_lint.py path...          # lint specific files/dirs
+    tools/hostnet_lint.py --list-checks
+    tools/hostnet_lint.py --list-allows
+
+Exit status: 0 = no unsuppressed findings, 1 = findings, 2 = usage error.
+Stdlib only; no compiler needed.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".hpp", ".h", ".cpp", ".cc", ".cxx")
+DEFAULT_ROOTS = ("src", "bench", "tests", "examples")
+# The lint tool's own test corpus: deliberately-bad snippets that must not
+# fail a tree-wide run (tests/test_lint.py scans them explicitly).
+SKIP_DIR_NAMES = {"lint_fixtures", "build", ".git"}
+SKIP_DIR_PREFIXES = ("build-",)
+
+# Subsystems with a zero-steady-state-allocation contract (DESIGN.md 4a/4b).
+HOT_PATH_DIRS = ("src/sim", "src/mc", "src/cha", "src/cpu", "src/iio")
+
+ALLOW_RE = re.compile(r"hostnet-lint:\s*allow\(([^)]*)\)")
+
+CHECKS = {
+    "wall-clock": "wall-clock time source (simulated time comes from sim::Simulator::now())",
+    "raw-rand": "unseeded/global RNG (use a seeded common/rng.hpp stream)",
+    "unordered-iter": "iteration over an unordered container (order is unspecified)",
+    "hot-alloc": "allocating/indirect type banned in hot-path subsystems",
+    "pragma-once": "header missing #pragma once",
+    "magic-tick": "magic tick constant outside common/units.hpp",
+}
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+    r"|\bgettimeofday\s*\("
+    r"|\bclock_gettime\s*\("
+    r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+RAW_RAND_RE = re.compile(r"\b(?:rand|srand|drand48|srandom)\s*\(|std::random_device")
+# A new-expression allocating an object: `new T`, `::new T` -- but not
+# placement new (`new (addr) T`), which allocates nothing.
+NEW_EXPR_RE = re.compile(r"\bnew\s+[A-Za-z_:][\w:]*")
+HOT_ALLOC_RE = re.compile(
+    r"std::deque\s*<|std::function\s*<|std::map\s*<|std::multimap\s*<|std::list\s*<"
+    r"|std::unordered_(?:map|set|multimap|multiset)\s*<"
+)
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s+(\w+)\s*[;={(]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:this->)?(\w+)\s*\)")
+# A 4+-digit decimal literal (optionally with ' separators), not part of an
+# identifier, hex literal, or floating-point number, and not already wrapped
+# in a units.hpp helper (ns(2730) is the sanctioned spelling).
+MAGIC_INT_RE = re.compile(r"(?<![\w.'])(?<!ns\()(?<!us\()(?<!ms\()\d{4,}(?:'\d+)*(?![\w.'])")
+TICK_LINE_RE = re.compile(r"\bTick\b|\bticks\b|_ps\b")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line structure.
+
+    A lightweight scanner (not a real lexer): handles //, /* */, "..." with
+    escapes, '...' with escapes, and R"delim(...)delim" raw strings -- enough
+    for this codebase. Stripped spans become spaces so column numbers and
+    line counts survive.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            span = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in span))
+            i = j + 2
+        elif c == "R" and text[i : i + 2] == 'R"':
+            m = re.match(r'R"([^(]*)\(', text[i:])
+            if m is None:
+                out.append(c)
+                i += 1
+                continue
+            close = ")" + m.group(1) + '"'
+            j = text.find(close, i + m.end())
+            j = n - len(close) if j == -1 else j
+            span = text[i : j + len(close)]
+            out.append("".join(ch if ch == "\n" else " " for ch in span))
+            i = j + len(close)
+        elif c == '"' or c == "'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            out.append(c + " " * (j - i - 1) + (c if j < n else ""))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def rel(path, root):
+    try:
+        return os.path.relpath(path, root).replace(os.sep, "/")
+    except ValueError:
+        return path.replace(os.sep, "/")
+
+
+class Finding:
+    __slots__ = ("path", "line", "check", "message")
+
+    def __init__(self, path, line, check, message):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+def parse_allows(raw_lines):
+    """line number -> set of check ids allowed on that line.
+
+    A directive suppresses findings on its own line; a directive on an
+    otherwise comment-only line also covers the next line.
+    """
+    allows = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        ids = {s.strip() for s in m.group(1).split(",") if s.strip()}
+        unknown = ids - set(CHECKS)
+        if unknown:
+            raise ValueError(
+                f"line {idx}: unknown check id(s) in allow(): {', '.join(sorted(unknown))}"
+            )
+        allows.setdefault(idx, set()).update(ids)
+        if line.split("//")[0].strip() == "":  # comment-only line: covers the next
+            allows.setdefault(idx + 1, set()).update(ids)
+    return allows
+
+
+def lint_file(path, display_path, collect_allows=None):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    try:
+        allows = parse_allows(raw_lines)
+    except ValueError as e:
+        return [Finding(display_path, 0, "pragma-once", f"bad allow() directive: {e}")]
+    if collect_allows is not None:
+        for idx in sorted(allows):
+            if ALLOW_RE.search(raw_lines[idx - 1] if idx <= len(raw_lines) else ""):
+                collect_allows.append((display_path, idx, sorted(allows[idx])))
+    code = strip_comments_and_strings(text)
+    code_lines = code.splitlines()
+
+    in_hot_path = any(
+        display_path.startswith(d + "/") or ("/" + d + "/") in display_path
+        for d in HOT_PATH_DIRS
+    )
+    is_header = display_path.endswith((".hpp", ".h"))
+    is_units = display_path.endswith("common/units.hpp")
+    in_src = display_path.startswith("src/") or "/src/" in display_path
+
+    findings = []
+
+    def report(lineno, check, message):
+        if check not in allows.get(lineno, set()):
+            findings.append(Finding(display_path, lineno, check, message))
+
+    # -- pragma-once (raw text: it is a preprocessor directive) ---------------
+    if is_header and not any("#pragma once" in l for l in raw_lines[:80]):
+        report(1, "pragma-once", "header does not contain #pragma once")
+
+    unordered_names = {m.group(1) for m in UNORDERED_DECL_RE.finditer(code)}
+
+    for lineno, line in enumerate(code_lines, start=1):
+        m = WALL_CLOCK_RE.search(line)
+        if m:
+            report(lineno, "wall-clock",
+                   f"'{m.group(0).strip()}' reads wall-clock time; results must "
+                   "depend only on sim::Simulator::now()")
+        m = RAW_RAND_RE.search(line)
+        if m:
+            report(lineno, "raw-rand",
+                   f"'{m.group(0).strip()}' is not seeded from the experiment seed; "
+                   "use common/rng.hpp")
+        if unordered_names:
+            fm = RANGE_FOR_RE.search(line)
+            if fm and fm.group(1) in unordered_names:
+                report(lineno, "unordered-iter",
+                       f"range-for over unordered container '{fm.group(1)}'; "
+                       "iteration order is unspecified and must not feed results "
+                       "or event ordering")
+        if in_hot_path:
+            m = HOT_ALLOC_RE.search(line)
+            if m:
+                report(lineno, "hot-alloc",
+                       f"'{m.group(0).rstrip('<').strip()}' is banned in hot-path "
+                       "subsystems (allocates per element or per call); use the "
+                       "slot arenas / RingBuffer / sim::Event instead")
+            m = NEW_EXPR_RE.search(line)
+            if m:
+                report(lineno, "hot-alloc",
+                       f"new-expression '{m.group(0)}' in a hot-path subsystem; "
+                       "steady-state paths must not allocate")
+        if in_src and not is_units and TICK_LINE_RE.search(line):
+            m = MAGIC_INT_RE.search(line)
+            if m:
+                report(lineno, "magic-tick",
+                       f"magic tick constant {m.group(0)}; name it in "
+                       "common/units.hpp or derive it via ns()/us()/ms()")
+    return findings
+
+
+def iter_files(paths, root):
+    for p in paths:
+        ap = os.path.join(root, p) if not os.path.isabs(p) else p
+        if os.path.isfile(ap):
+            yield ap  # explicit files are always scanned (fixtures rely on this)
+        elif os.path.isdir(ap):
+            for dirpath, dirnames, filenames in os.walk(ap):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in SKIP_DIR_NAMES and not d.startswith(SKIP_DIR_PREFIXES)
+                )
+                for fn in sorted(filenames):
+                    if fn.endswith(CXX_EXTENSIONS):
+                        yield os.path.join(dirpath, fn)
+        else:
+            raise FileNotFoundError(p)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="hostnet-specific determinism / allocation-discipline lint")
+    ap.add_argument("paths", nargs="*",
+                    help=f"files or directories to lint (default: {' '.join(DEFAULT_ROOTS)})")
+    ap.add_argument("--root", default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    help="repository root used to resolve default paths and hot-path dirs")
+    ap.add_argument("--list-checks", action="store_true", help="print check ids and exit")
+    ap.add_argument("--list-allows", action="store_true",
+                    help="print every allow() suppression in the scanned tree and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_checks:
+        for cid, desc in CHECKS.items():
+            print(f"{cid:<16} {desc}")
+        return 0
+
+    root = os.path.abspath(args.root)
+    paths = args.paths or [p for p in DEFAULT_ROOTS if os.path.isdir(os.path.join(root, p))]
+    try:
+        files = sorted(set(iter_files(paths, root)))
+    except FileNotFoundError as e:
+        print(f"hostnet-lint: no such file or directory: {e}", file=sys.stderr)
+        return 2
+
+    all_findings = []
+    allow_list = [] if args.list_allows else None
+    for f in files:
+        all_findings.extend(lint_file(f, rel(f, root), collect_allows=allow_list))
+
+    if args.list_allows:
+        for path, lineno, ids in allow_list:
+            print(f"{path}:{lineno}: allow({', '.join(ids)})")
+        print(f"{len(allow_list)} suppression(s) in {len(files)} file(s)")
+        return 0
+
+    for finding in all_findings:
+        print(finding)
+    if all_findings:
+        print(f"\nhostnet-lint: {len(all_findings)} finding(s) in {len(files)} file(s); "
+              "fix them or suppress with '// hostnet-lint: allow(<check>)' plus a "
+              "justification", file=sys.stderr)
+        return 1
+    print(f"hostnet-lint: OK ({len(files)} file(s) clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
