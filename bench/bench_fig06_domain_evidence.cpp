@@ -36,9 +36,10 @@ int main() {
       c2m.workload = workloads::c2m_read(workloads::c2m_core_region(0));
       c2m.cores = n;
       const auto r = core::run_workloads(host, c2m, std::nullopt, opt);
-      t.row({std::to_string(n), Table::num(r.metrics.lfb_latency_ns, 1),
+      const auto& d = r.metrics.domain(core::Domain::kC2MRead);
+      t.row({std::to_string(n), Table::num(d.latency_ns, 1),
              Table::num(r.metrics.cha_dram_read_latency_c2m_ns, 1),
-             std::to_string(r.metrics.lfb_max_occupancy)});
+             std::to_string(static_cast<std::int64_t>(d.max_credits_used))});
     }
     t.print();
   }
@@ -52,9 +53,10 @@ int main() {
       c2m.workload = workloads::c2m_read_write(workloads::c2m_core_region(0));
       c2m.cores = n;
       const auto r = core::run_workloads(host, c2m, std::nullopt, opt);
-      t.row({std::to_string(n), Table::num(r.metrics.lfb_latency_ns, 1),
+      t.row({std::to_string(n),
+             Table::num(r.metrics.domain(core::Domain::kC2MRead).latency_ns, 1),
              Table::num(r.metrics.cha_mc_write_latency_ns, 1),
-             Table::num(r.metrics.c2m_write.latency_ns, 1)});
+             Table::num(r.metrics.domain(core::Domain::kC2MWrite).latency_ns, 1)});
     }
     t.print();
   }
@@ -71,9 +73,10 @@ int main() {
       p2m.storage = workloads::fio_4k_qd1(host, workloads::p2m_region());
       const auto r = core::run_workloads(
           host, n > 0 ? std::optional<core::C2MSpec>(c2m) : std::nullopt, p2m, opt);
-      t.row({std::to_string(n), Table::num(r.metrics.p2m_write.latency_ns, 1),
+      const auto& d = r.metrics.domain(core::Domain::kP2MWrite);
+      t.row({std::to_string(n), Table::num(d.latency_ns, 1),
              Table::num(r.metrics.cha_mc_write_latency_ns, 1),
-             Table::num(r.metrics.p2m_write.credits_in_use, 1)});
+             Table::num(d.credits_in_use, 1)});
     }
     t.print();
   }
@@ -87,9 +90,10 @@ int main() {
       c2m.workload = workloads::c2m_read(workloads::c2m_core_region(0));
       c2m.cores = 1;
       const auto r = core::run_workloads(host, c2m, std::nullopt, opt);
+      const auto& d = r.metrics.domain(core::Domain::kC2MRead);
       t.row({"max LFB occupancy (C2M-Read, 1 core)",
-             std::to_string(r.metrics.lfb_max_occupancy), "10-12"});
-      t.row({"unloaded C2M-Read latency (ns)", Table::num(r.metrics.lfb_latency_ns, 1),
+             std::to_string(static_cast<std::int64_t>(d.max_credits_used)), "10-12"});
+      t.row({"unloaded C2M-Read latency (ns)", Table::num(d.latency_ns, 1),
              "~70"});
     }
     {
@@ -101,7 +105,8 @@ int main() {
       p2m.storage = workloads::fio_p2m_write(host, workloads::p2m_region());
       const auto r = core::run_workloads(host, c2m, p2m, opt);
       t.row({"IIO write buffer occupancy saturation",
-             Table::num(r.metrics.p2m_write.max_credits_used, 0), "~92"});
+             Table::num(r.metrics.domain(core::Domain::kP2MWrite).max_credits_used, 0),
+             "~92"});
     }
     {
       core::C2MSpec c2m;
@@ -118,7 +123,8 @@ int main() {
       p2m.storage = workloads::fio_4k_qd1(host, workloads::p2m_region());
       const auto r = core::run_workloads(host, std::nullopt, p2m, opt);
       t.row({"unloaded P2M-Write domain latency (ns)",
-             Table::num(r.metrics.p2m_write.latency_ns, 1), "~300"});
+             Table::num(r.metrics.domain(core::Domain::kP2MWrite).latency_ns, 1),
+             "~300"});
     }
     t.print();
   }

@@ -13,10 +13,12 @@
 #   6. perf        release bench_sim_perf vs bench/baselines/: checked
 #                  instrumentation must compile out of release builds, so a
 #                  >10% BM_HostSimulation regression fails the gate
+#   7. golden      release bench_fig* outputs vs bench/goldens/ (byte-for-
+#                  byte; scripts/check_golden.sh)
 #
 # Usage: scripts/ci_static_analysis.sh [--quick]
-#   --quick   steps 1-4 only (no sanitizer rebuilds, no benchmark): the
-#             fast pre-push loop.
+#   --quick   steps 1-4 only (no sanitizer rebuilds, no benchmark, no
+#             goldens): the fast pre-push loop.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -27,13 +29,13 @@ jobs="$(nproc)"
 
 step() { printf '\n=== ci_static_analysis: %s ===\n' "$1"; }
 
-step "1/6 format check"
+step "1/7 format check"
 scripts/format_check.sh
 
-step "2/6 hostnet-lint"
+step "2/7 hostnet-lint"
 python3 tools/hostnet_lint.py
 
-step "3/6 clang-tidy build"
+step "3/7 clang-tidy build"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build-tidy -S . -DHOSTNET_LINT=ON >/dev/null
   cmake --build build-tidy -j "${jobs}"
@@ -43,28 +45,31 @@ else
        "project-specific rules in step 2)"
 fi
 
-step "4/6 checked-invariant build + full tier-1 suite"
+step "4/7 checked-invariant build + full tier-1 suite"
 cmake -B build-checked -S . -DHOSTNET_CHECKED=ON >/dev/null
 cmake --build build-checked -j "${jobs}"
-ctest --test-dir build-checked -LE perf -j "${jobs}" --output-on-failure
+ctest --test-dir build-checked -LE "perf|golden" -j "${jobs}" --output-on-failure
 
 if [[ ${quick} -eq 1 ]]; then
-  step "quick mode: skipping sanitizers + perf gate"
+  step "quick mode: skipping sanitizers + perf gate + goldens"
   echo "ci_static_analysis: OK (quick)"
   exit 0
 fi
 
-step "5/6 sanitizers (ASan+UBSan, then TSan) over the full suite"
+step "5/7 sanitizers (ASan+UBSan, then TSan) over the full suite"
 scripts/run_asan_ubsan_tests.sh build-asan
 scripts/run_tsan_pool_tests.sh build-tsan
 
-step "6/6 release perf gate (checked instrumentation must compile out)"
+step "6/7 release perf gate (checked instrumentation must compile out)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build -R bench_sim_perf_json --output-on-failure
 python3 scripts/bench_compare.py \
   bench/baselines/BENCH_sim_perf.main.json build/BENCH_sim_perf.json \
   --threshold 0.10
+
+step "7/7 golden bench outputs (byte-for-byte vs bench/goldens/)"
+scripts/check_golden.sh build/bench
 
 echo
 echo "ci_static_analysis: OK"

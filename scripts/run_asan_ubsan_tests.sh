@@ -21,5 +21,5 @@ cmake --build "${build_dir}" --target hostnet_tests -j "$(nproc)"
 
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
-  ctest --test-dir "${build_dir}" --output-on-failure -LE perf \
+  ctest --test-dir "${build_dir}" --output-on-failure -LE "perf|golden" \
     -j "$(nproc)"

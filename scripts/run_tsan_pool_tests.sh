@@ -18,5 +18,5 @@ cmake --build "${build_dir}" --target hostnet_tests -j "$(nproc)"
 
 # TSan halts on the first data race so a regression fails the run loudly.
 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir "${build_dir}" --output-on-failure -LE perf \
+  ctest --test-dir "${build_dir}" --output-on-failure -LE "perf|golden" \
     -j "$(nproc)"

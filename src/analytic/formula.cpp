@@ -83,8 +83,9 @@ ThroughputEstimate estimate(DomainKind kind, const core::Metrics& m,
       e.latency_ns = c.c2m_read_ns + e.breakdown.total_ns();
       if (opt.add_cha_admission_delay)
         e.cha_admission_delay_ns = wait(mem::TrafficClass::kC2MRead);
-      const double credits =
-          m.lfb_avg_occupancy * static_cast<double>(m.c2m_cores);
+      // Per-core observation times the core count = host-wide credits in use.
+      const double credits = m.domain(core::Domain::kC2MRead).credits_in_use *
+                             static_cast<double>(m.c2m_cores);
       e.throughput_gbps =
           estimate_throughput_gbps(credits, e.latency_ns + e.cha_admission_delay_ns);
       break;
@@ -96,8 +97,8 @@ ThroughputEstimate estimate(DomainKind kind, const core::Metrics& m,
       if (opt.add_cha_admission_delay)
         e.cha_admission_delay_ns =
             wait(mem::TrafficClass::kC2MRead) + wait(mem::TrafficClass::kC2MWrite);
-      const double credits =
-          m.lfb_avg_occupancy * static_cast<double>(m.c2m_cores);
+      const double credits = m.domain(core::Domain::kC2MRead).credits_in_use *
+                             static_cast<double>(m.c2m_cores);
       e.throughput_gbps =
           estimate_throughput_gbps(credits, e.latency_ns + e.cha_admission_delay_ns);
       break;
@@ -107,8 +108,9 @@ ThroughputEstimate estimate(DomainKind kind, const core::Metrics& m,
       e.latency_ns = c.p2m_read_ns + e.breakdown.total_ns();
       if (opt.add_cha_admission_delay)
         e.cha_admission_delay_ns = wait(mem::TrafficClass::kP2MRead);
-      e.throughput_gbps = estimate_throughput_gbps(
-          m.p2m_read.credits_in_use, e.latency_ns + e.cha_admission_delay_ns);
+      e.throughput_gbps =
+          estimate_throughput_gbps(m.domain(core::Domain::kP2MRead).credits_in_use,
+                                   e.latency_ns + e.cha_admission_delay_ns);
       break;
     }
     case DomainKind::kP2MWrite: {
@@ -116,8 +118,9 @@ ThroughputEstimate estimate(DomainKind kind, const core::Metrics& m,
       e.latency_ns = c.p2m_write_ns + in.p_fill_wpq * e.breakdown.total_ns();
       if (opt.add_cha_admission_delay)
         e.cha_admission_delay_ns = wait(mem::TrafficClass::kP2MWrite);
-      e.throughput_gbps = estimate_throughput_gbps(
-          m.p2m_write.credits_in_use, e.latency_ns + e.cha_admission_delay_ns);
+      e.throughput_gbps =
+          estimate_throughput_gbps(m.domain(core::Domain::kP2MWrite).credits_in_use,
+                                   e.latency_ns + e.cha_admission_delay_ns);
       break;
     }
   }

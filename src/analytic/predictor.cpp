@@ -31,9 +31,13 @@ Prediction solve(const core::HostConfig& host, const PredictorWorkload& wl,
   double l_read = c.c2m_read_ns;
   double l_pw = c.p2m_write_ns;
 
-  const double credits_c2m = static_cast<double>(wl.c2m_cores * host.core.lfb_entries);
-  const double credits_pw = static_cast<double>(host.iio.write_credits);
-  const double credits_pr = static_cast<double>(host.iio.read_credits);
+  const auto specs = core::domain_specs(host, wl.c2m_cores);
+  const double credits_c2m =
+      specs[static_cast<std::size_t>(core::Domain::kC2MRead)].credits;
+  const double credits_pw =
+      specs[static_cast<std::size_t>(core::Domain::kP2MWrite)].credits;
+  const double credits_pr =
+      specs[static_cast<std::size_t>(core::Domain::kP2MRead)].credits;
 
   for (p.iterations = 1; p.iterations <= 200; ++p.iterations) {
     const double w_c = wl.c2m_writes ? r_c : 0.0;

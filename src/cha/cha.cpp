@@ -11,45 +11,45 @@ Cha::Cha(sim::Simulator& sim, const ChaConfig& cfg, mc::MemoryController& mc)
     p.read_tokens = cfg_.read_fwd_window;
     p.write_tokens = cfg_.write_fwd_window;
   }
-  read_tor_ledger_.set_capacity(cfg_.read_tor);
-  write_tracker_ledger_.set_capacity(cfg_.write_tracker);
+  flow::CreditPoolSpec rd;
+  rd.name = "cha.read-tor";
+  rd.capacity = cfg_.read_tor;
+  read_pool_.configure(rd);
+  flow::CreditPoolSpec wr;
+  wr.name = "cha.write-tracker";
+  wr.capacity = cfg_.write_tracker;
+  wr.reserve = cfg_.write_tracker_peripheral_reserve;
+  // Pressure: more writes resident than the forwarding pipeline naturally
+  // holds (the measured analogue of the paper's P_fill^WPQ input).
+  wr.pressure_threshold = 3 * static_cast<std::int64_t>(ports_.size());
+  write_pool_.configure(wr);
   if (cfg_.ddio) ddio_.emplace(cfg_.ddio_capacity_bytes, cfg_.ddio_ways);
 }
 
 bool Cha::has_space(mem::Op op, mem::Source source) const {
-  if (op == mem::Op::kRead) return read_tor_used_ < cfg_.read_tor;
-  if (source == mem::Source::kPeripheral)
-    return write_tracker_used_ < cfg_.write_tracker;
   // CPU writes may not consume the peripheral reserve.
-  const std::uint32_t cpu_cap =
-      cfg_.write_tracker > cfg_.write_tracker_peripheral_reserve
-          ? cfg_.write_tracker - cfg_.write_tracker_peripheral_reserve
-          : 0;
-  return write_tracker_used_ < cpu_cap;
+  if (op == mem::Op::kRead) return read_pool_.has_space();
+  return write_pool_.has_space(/*privileged=*/source == mem::Source::kPeripheral);
 }
 
 bool Cha::try_submit(mem::Request req) {
   if (!has_space(req.op, req.source)) return false;
   req.cha_accepted = sim_.now();
   if (req.op == mem::Op::kRead) {
-    ++read_tor_used_;
-    read_tor_ledger_.acquire();
+    read_pool_.acquire(sim_.now());
     start_read(req);
   } else {
-    ++write_tracker_used_;
-    write_tracker_ledger_.acquire();
-    write_backlog_occ_.add(sim_.now(), +1);
-    update_backpressure();
+    write_pool_.acquire(sim_.now());
     start_write(req);
   }
   return true;
 }
 
 void Cha::wait_for_admission(mem::Op op, ChaClient* client, mem::Source source) {
-  auto& q = op == mem::Op::kRead ? read_waiters_
-            : source == mem::Source::kPeripheral ? peripheral_write_waiters_
-                                                 : cpu_write_waiters_;
-  q.push_back(client);
+  flow::CreditPool& pool = op == mem::Op::kRead ? read_pool_ : write_pool_;
+  pool.enqueue_waiter(&client->admission_waiter(op),
+                      /*privileged=*/op == mem::Op::kWrite &&
+                          source == mem::Source::kPeripheral);
 }
 
 void Cha::record_admission_wait(mem::TrafficClass cls, Tick waited) {
@@ -206,45 +206,13 @@ void Cha::on_rpq_slot_freed(std::uint32_t channel, Tick /*now*/) {
 }
 
 void Cha::free_read_tor() {
-  assert(read_tor_used_ > 0);
-  --read_tor_used_;
-  read_tor_ledger_.release();
-  notify_waiters(mem::Op::kRead);
+  read_pool_.release(sim_.now());
+  read_pool_.notify();
 }
 
 void Cha::free_write_tracker() {
-  assert(write_tracker_used_ > 0);
-  --write_tracker_used_;
-  write_tracker_ledger_.release();
-  write_backlog_occ_.add(sim_.now(), -1);
-  update_backpressure();
-  notify_waiters(mem::Op::kWrite);
-}
-
-void Cha::notify_waiters(mem::Op op) {
-  if (notifying_) return;  // avoid re-entrant notification storms
-  notifying_ = true;
-  if (op == mem::Op::kRead) {
-    while (!read_waiters_.empty() && has_space(op, mem::Source::kCpu)) {
-      ChaClient* c = read_waiters_.front();
-      read_waiters_.pop_front();
-      c->on_cha_admission(op);
-    }
-  } else {
-    // Peripheral write waiters first (they may use the reserve).
-    while (!peripheral_write_waiters_.empty() &&
-           has_space(op, mem::Source::kPeripheral)) {
-      ChaClient* c = peripheral_write_waiters_.front();
-      peripheral_write_waiters_.pop_front();
-      c->on_cha_admission(op);
-    }
-    while (!cpu_write_waiters_.empty() && has_space(op, mem::Source::kCpu)) {
-      ChaClient* c = cpu_write_waiters_.front();
-      cpu_write_waiters_.pop_front();
-      c->on_cha_admission(op);
-    }
-  }
-  notifying_ = false;
+  write_pool_.release(sim_.now());
+  write_pool_.notify();
 }
 
 double Cha::mean_admission_wait_ns(mem::TrafficClass cls) const {
@@ -256,8 +224,8 @@ void Cha::reset_counters(Tick now) {
   for (auto& a : admission_wait_ns_) a.reset();
   lines_read_ = {};
   lines_written_ = {};
-  write_backlog_occ_.reset(now);
-  wpq_backpressure_.reset(now);
+  read_pool_.reset_telemetry(now);
+  write_pool_.reset_telemetry(now);
   ddio_hits_ = 0;
 }
 

@@ -28,10 +28,10 @@
 #include <vector>
 
 #include "cache/ddio.hpp"
-#include "common/check.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/stats.hpp"
 #include "counters/station.hpp"
+#include "flow/credit_pool.hpp"
 #include "mc/memory_controller.hpp"
 #include "mem/request.hpp"
 #include "sim/simulator.hpp"
@@ -68,8 +68,33 @@ struct ChaConfig {
 /// should retry exactly one submission; return true iff a slot was consumed.
 class ChaClient {
  public:
+  ChaClient() {
+    read_waiter_.client = this;
+    read_waiter_.op = mem::Op::kRead;
+    write_waiter_.client = this;
+    write_waiter_.op = mem::Op::kWrite;
+  }
   virtual ~ChaClient() = default;
   virtual bool on_cha_admission(mem::Op op) = 0;
+
+  /// Per-op adapter for flow::CreditPool waiting: the CHA queues the adapter
+  /// matching the exhausted tracker, so the wake carries which op freed. A
+  /// client queues once per blocked request (duplicates intentional: the
+  /// retry drains one blocked request per wake).
+  flow::CreditWaiter& admission_waiter(mem::Op op) {
+    return op == mem::Op::kRead ? read_waiter_ : write_waiter_;
+  }
+
+ private:
+  struct OpWaiter final : flow::CreditWaiter {
+    void on_credit_available(flow::CreditPool&) override {
+      client->on_cha_admission(op);
+    }
+    ChaClient* client = nullptr;
+    mem::Op op = mem::Op::kRead;
+  };
+  OpWaiter read_waiter_;
+  OpWaiter write_waiter_;
 };
 
 class Cha final : public mc::ChannelListener {
@@ -110,23 +135,29 @@ class Cha final : public mc::ChannelListener {
   std::uint64_t lines_read(mem::TrafficClass cls) const { return lines_read_[idx(cls)]; }
   std::uint64_t lines_written(mem::TrafficClass cls) const { return lines_written_[idx(cls)]; }
   std::uint64_t ddio_hits() const { return ddio_hits_; }
-  std::uint32_t read_tor_used() const { return read_tor_used_; }
-  std::uint32_t write_tracker_used() const { return write_tracker_used_; }
-  TimeWeighted& write_backlog_occupancy() { return write_backlog_occ_; }
+  std::uint32_t read_tor_used() const { return read_pool_.in_use(); }
+  std::uint32_t write_tracker_used() const { return write_pool_.in_use(); }
+  TimeWeighted& write_backlog_occupancy() {
+    return write_pool_.station().occupancy_integral();
+  }
   /// Fraction of time writes are backpressured at the CHA (more writes
   /// resident than the forwarding pipeline naturally holds) -- the
   /// measured analogue of the paper's P_fill^WPQ input.
   double wpq_blocked_fraction(Tick now) {
-    return wpq_backpressure_.average(now);
+    return write_pool_.pressure_fraction(now);
   }
+
+  // -- credit pools (registered with flow::DomainRegistry, interior) ---------
+  flow::CreditPool& read_pool() { return read_pool_; }    ///< read tracker (TOR)
+  flow::CreditPool& write_pool() { return write_pool_; }  ///< write tracker
 
   void reset_counters(Tick now);
 
   /// Checked-build audit (no-op otherwise): tracker-pool conservation --
   /// admissions minus frees equals the in-use counters, within capacity.
   void verify_invariants() const {
-    read_tor_ledger_.verify(read_tor_used_, "cha.read-tor");
-    write_tracker_ledger_.verify(write_tracker_used_, "cha.write-tracker");
+    read_pool_.verify();
+    write_pool_.verify();
   }
 
  private:
@@ -154,7 +185,6 @@ class Cha final : public mc::ChannelListener {
   void admit_write_to_wpq(std::uint32_t ch, const mem::Request& req);
   void free_read_tor();
   void free_write_tracker();
-  void notify_waiters(mem::Op op);
   bool has_space(mem::Op op, mem::Source source) const;
 
   sim::Simulator& sim_;
@@ -163,28 +193,16 @@ class Cha final : public mc::ChannelListener {
   std::optional<cache::DdioCache> ddio_;
 
   std::vector<Port> ports_;
-  std::uint32_t read_tor_used_ = 0;
-  std::uint32_t write_tracker_used_ = 0;
-  CreditLedger read_tor_ledger_;        ///< empty shells unless HOSTNET_CHECKED
-  CreditLedger write_tracker_ledger_;
-  RingBuffer<ChaClient*> read_waiters_;
-  RingBuffer<ChaClient*> cpu_write_waiters_;
-  RingBuffer<ChaClient*> peripheral_write_waiters_;
-  bool notifying_ = false;
+  flow::CreditPool read_pool_;   ///< read tracker (TOR) entries
+  /// Write tracker entries; its occupancy integral is N_waiting in the
+  /// analytical formula and its pressure signal is the measured P_fill^WPQ.
+  flow::CreditPool write_pool_;
 
   std::array<counters::LatencyStation, mem::kNumTrafficClasses> stations_{};
   std::array<MeanAccumulator, mem::kNumTrafficClasses> admission_wait_ns_{};
   std::array<std::uint64_t, mem::kNumTrafficClasses> lines_read_{};
   std::array<std::uint64_t, mem::kNumTrafficClasses> lines_written_{};
-  TimeWeighted write_backlog_occ_;  ///< N_waiting in the analytical formula
-  TimeWeighted wpq_backpressure_;   ///< 0/1: writes waiting beyond the pipeline
   std::uint64_t ddio_hits_ = 0;
-
-  void update_backpressure() {
-    wpq_backpressure_.set(
-        sim_.now(),
-        write_backlog_occ_.level() > 3 * static_cast<std::int64_t>(ports_.size()) ? 1 : 0);
-  }
 };
 
 }  // namespace hostnet::cha

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace hostnet::core {
 
@@ -12,13 +13,30 @@ HostSystem::HostSystem(const HostConfig& cfg, std::uint64_t seed) : cfg_(cfg), s
                                                nullptr);
   cha_ = std::make_unique<cha::Cha>(sim_, cfg_.cha, *mc_);
   mc_->set_listener(cha_.get());
+  // Every credit pool in the host joins the registry in construction order;
+  // registration order is the registry's (deterministic) iteration order.
+  for (std::uint32_t ch = 0; ch < mc_->num_channels(); ++ch) {
+    const std::string prefix = "mc.ch" + std::to_string(ch);
+    registry_.add_interior(prefix + ".rpq", &mc_->channel(ch).rpq_pool());
+    registry_.add_interior(prefix + ".wpq", &mc_->channel(ch).wpq_pool());
+  }
+  registry_.add_interior("cha.read-tor", &cha_->read_pool());
+  registry_.add_interior("cha.write-tracker", &cha_->write_pool());
   iios_.push_back(std::make_unique<iio::Iio>(sim_, *cha_, cfg_.iio, 0));
+  register_iio_pools(0);
+}
+
+void HostSystem::register_iio_pools(std::size_t stack) {
+  const std::string prefix = "iio" + std::to_string(stack);
+  registry_.add(Domain::kP2MWrite, prefix + ".write-credits", &iios_[stack]->write_pool());
+  registry_.add(Domain::kP2MRead, prefix + ".read-credits", &iios_[stack]->read_pool());
 }
 
 std::size_t HostSystem::add_iio_stack(const iio::IioConfig& icfg) {
   assert(!started_ && "add components before run()");
   iios_.push_back(std::make_unique<iio::Iio>(
       sim_, *cha_, icfg, static_cast<std::uint16_t>(iios_.size())));
+  register_iio_pools(iios_.size() - 1);
   return iios_.size() - 1;
 }
 
@@ -28,6 +46,9 @@ cpu::Core& HostSystem::add_core(const cpu::CoreWorkload& wl) {
   std::uint64_t sm = seed_ + 0x1000 + id;
   cores_.push_back(
       std::make_unique<cpu::Core>(sim_, *cha_, cfg_.core, wl, id, splitmix64(sm)));
+  const std::string prefix = "cpu" + std::to_string(id);
+  registry_.add(Domain::kC2MRead, prefix + ".lfb", &cores_.back()->lfb_pool());
+  registry_.add(Domain::kC2MWrite, prefix + ".c2m-write", &cores_.back()->write_pool());
   return *cores_.back();
 }
 
@@ -64,6 +85,7 @@ void HostSystem::verify_invariants() const {
   cha_->verify_invariants();
   for (const auto& i : iios_) i->verify_invariants();
   for (const auto& c : cores_) c->verify_invariants();
+  registry_.verify();  // every registered pool's ledger, host-wide
 }
 
 void HostSystem::reset_counters() {
@@ -96,45 +118,40 @@ Metrics HostSystem::collect() {
     m.mem_gbps[static_cast<std::size_t>(c)] = gb_per_s(bytes, window);
   }
 
-  // LFB (C2M-Read / combined) domain observation across cores.
-  double lat_sum = 0, lit_sum = 0, occ_sum = 0;
-  std::uint64_t completions = 0;
-  std::int64_t max_occ = 0;
-  double wlat_sum = 0;
-  std::uint64_t wcomp = 0;
-  double wocc = 0;
+  // C2M domain observations, derived from the registry (the cores' LFB
+  // pools under C2M-Read -- averaged per core, as the paper reports -- and
+  // their write-phase pools under C2M-Write, summed).
+  m.c2m_read = registry_.observe(Domain::kC2MRead, now, window,
+                                 flow::OccAggregation::kMean);
+  m.c2m_write = registry_.observe(Domain::kC2MWrite, now, window,
+                                  flow::OccAggregation::kSum);
+  m.lfb_latency_ns = m.c2m_read.latency_ns;
+  m.lfb_avg_occupancy = m.c2m_read.credits_in_use;
+  m.lfb_max_occupancy = static_cast<std::int64_t>(m.c2m_read.max_credits_used);
+  // Little's-law latency is a per-pool derived quantity observe() does not
+  // carry; weight it by completions over the same entries.
+  {
+    double lit_sum = 0;
+    std::uint64_t completions = 0;
+    registry_.for_each(Domain::kC2MRead, [&](flow::DomainRegistry::Entry& e) {
+      auto& s = e.pool->station();
+      if (s.completions() > 0) {
+        lit_sum += s.littles_latency_ns(now) * static_cast<double>(s.completions());
+        completions += s.completions();
+      }
+    });
+    if (completions > 0)
+      m.lfb_littles_latency_ns = lit_sum / static_cast<double>(completions);
+  }
   for (auto& c : cores_) {
-    auto& s = c->lfb_station();
-    if (s.completions() > 0) {
-      lat_sum += s.mean_latency_ns() * static_cast<double>(s.completions());
-      lit_sum += s.littles_latency_ns(now) * static_cast<double>(s.completions());
-      completions += s.completions();
-    }
-    occ_sum += s.avg_occupancy(now);
-    max_occ = std::max(max_occ, s.max_occupancy());
-    auto& w = c->write_station();
-    if (w.completions() > 0) {
-      wlat_sum += w.mean_latency_ns() * static_cast<double>(w.completions());
-      wcomp += w.completions();
-    }
-    wocc += w.avg_occupancy(now);
     m.c2m_lines_read += c->lines_read();
     m.c2m_lines_written += c->lines_written();
   }
-  if (completions > 0) {
-    m.lfb_latency_ns = lat_sum / static_cast<double>(completions);
-    m.lfb_littles_latency_ns = lit_sum / static_cast<double>(completions);
-  }
-  m.lfb_avg_occupancy = cores_.empty() ? 0 : occ_sum / static_cast<double>(cores_.size());
-  m.lfb_max_occupancy = max_occ;
-  m.c2m_read.credits_in_use = m.lfb_avg_occupancy;
-  m.c2m_read.max_credits_used = static_cast<double>(max_occ);
-  m.c2m_read.latency_ns = m.lfb_latency_ns;
+  // The LFB pool completes reads and store write-backs alike, so the C2M
+  // throughputs come from the cores' line counters, not pool completions.
   m.c2m_read.throughput_gbps =
       gb_per_s(m.c2m_lines_read * kCachelineBytes, window);
   m.c2m_app_gbps = m.c2m_read.throughput_gbps;
-  if (wcomp > 0) m.c2m_write.latency_ns = wlat_sum / static_cast<double>(wcomp);
-  m.c2m_write.credits_in_use = wocc;
   m.c2m_write.throughput_gbps = gb_per_s(m.c2m_lines_written * kCachelineBytes, window);
 
   // Queries (episodic workloads).
@@ -142,30 +159,13 @@ Metrics HostSystem::collect() {
   for (auto& c : cores_) queries += c->queries();
   m.queries_per_sec = static_cast<double>(queries) / (m.window_ns * 1e-9);
 
-  // IIO domain observations (aggregated across stacks; latency weighted by
-  // completions, occupancies summed).
-  {
-    double wlat = 0, rlat = 0;
-    std::uint64_t wn = 0, rn = 0;
-    for (auto& i : iios_) {
-      auto& w = i->write_station();
-      m.p2m_write.credits_in_use += w.avg_occupancy(now);
-      m.p2m_write.max_credits_used =
-          std::max(m.p2m_write.max_credits_used, static_cast<double>(w.max_occupancy()));
-      wlat += w.mean_latency_ns() * static_cast<double>(w.completions());
-      wn += w.completions();
-      auto& r = i->read_station();
-      m.p2m_read.credits_in_use += r.avg_occupancy(now);
-      m.p2m_read.max_credits_used =
-          std::max(m.p2m_read.max_credits_used, static_cast<double>(r.max_occupancy()));
-      rlat += r.mean_latency_ns() * static_cast<double>(r.completions());
-      rn += r.completions();
-    }
-    if (wn > 0) m.p2m_write.latency_ns = wlat / static_cast<double>(wn);
-    if (rn > 0) m.p2m_read.latency_ns = rlat / static_cast<double>(rn);
-    m.p2m_write.throughput_gbps = gb_per_s(wn * kCachelineBytes, window);
-    m.p2m_read.throughput_gbps = gb_per_s(rn * kCachelineBytes, window);
-  }
+  // P2M domain observations (the IIO stacks' buffers; disjoint pools of one
+  // domain, so occupancies sum and throughput follows from the pooled
+  // completions -- one cacheline per credit).
+  m.p2m_write = registry_.observe(Domain::kP2MWrite, now, window,
+                                  flow::OccAggregation::kSum);
+  m.p2m_read = registry_.observe(Domain::kP2MRead, now, window,
+                                 flow::OccAggregation::kSum);
 
   // CHA stations.
   m.cha_dram_read_latency_c2m_ns =
@@ -196,9 +196,10 @@ Metrics HostSystem::collect() {
   const std::uint32_t nch = mc_->num_channels();
   std::uint64_t hit_r = 0, hit_w = 0;
   for (std::uint32_t i = 0; i < nch; ++i) {
-    auto& cc = mc_->channel(i).counters();
-    m.avg_rpq_occupancy += cc.rpq_occ.average(now) / nch;
-    m.avg_wpq_occupancy += cc.wpq_occ.average(now) / nch;
+    auto& chan = mc_->channel(i);
+    auto& cc = chan.counters();
+    m.avg_rpq_occupancy += chan.rpq_pool().station().avg_occupancy(now) / nch;
+    m.avg_wpq_occupancy += chan.wpq_pool().station().avg_occupancy(now) / nch;
     m.mc_lines_read += cc.lines_read;
     m.mc_lines_written += cc.lines_written;
     m.mc_switch_cycles += cc.switch_cycles;

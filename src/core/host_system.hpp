@@ -21,6 +21,7 @@
 #include "core/metrics.hpp"
 #include "core/presets.hpp"
 #include "cpu/core.hpp"
+#include "flow/domain_registry.hpp"
 #include "iio/iio.hpp"
 #include "iio/storage_device.hpp"
 #include "mc/memory_controller.hpp"
@@ -72,6 +73,11 @@ class HostSystem {
   /// automatically from reset_counters() and collect(). See DESIGN.md 4c.
   void verify_invariants() const;
 
+  /// The host-wide credit-pool index: every component's flow::CreditPool is
+  /// registered here at construction, keyed by the paper's credit domains.
+  /// collect() derives the domain observations from it.
+  flow::DomainRegistry& domains() { return registry_; }
+
   const HostConfig& config() const { return cfg_; }
   sim::Simulator& sim() { return sim_; }
   cha::Cha& cha() { return *cha_; }
@@ -82,9 +88,12 @@ class HostSystem {
   std::vector<std::unique_ptr<iio::StorageDevice>>& storage() { return storage_; }
 
  private:
+  void register_iio_pools(std::size_t stack);
+
   HostConfig cfg_;
   std::uint64_t seed_;
   sim::Simulator sim_;
+  flow::DomainRegistry registry_;
   std::unique_ptr<mc::MemoryController> mc_;
   std::unique_ptr<cha::Cha> cha_;
   std::vector<std::unique_ptr<iio::Iio>> iios_;

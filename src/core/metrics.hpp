@@ -31,6 +31,18 @@ struct Metrics {
   DomainObservation c2m_write;  ///< core write station
   DomainObservation p2m_read;   ///< IIO read buffer
   DomainObservation p2m_write;  ///< IIO write buffer
+
+  /// Uniform access to the four bottleneck domains (one per traffic class),
+  /// so consumers (analytic::formula, benches) need not name the fields.
+  const DomainObservation& domain(Domain d) const {
+    switch (d) {
+      case Domain::kC2MWrite: return c2m_write;
+      case Domain::kP2MRead: return p2m_read;
+      case Domain::kP2MWrite: return p2m_write;
+      case Domain::kC2MRead: break;
+    }
+    return c2m_read;
+  }
   double lfb_latency_ns = 0;        ///< avg LFB credit-hold time across C2M cores
   double lfb_littles_latency_ns = 0;
   double lfb_avg_occupancy = 0;     ///< per-core average

@@ -10,10 +10,12 @@
 //   PCIe BW     32 GB/s               16 GB/s
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 #include "cha/cha.hpp"
+#include "core/domains.hpp"
 #include "cpu/core.hpp"
 #include "dram/address_map.hpp"
 #include "dram/timing.hpp"
@@ -82,6 +84,38 @@ struct HostConfig {
                             dram.bank_interleave_bytes);
   }
 };
+
+/// Static specs of the four bottleneck domains for this host (paper
+/// section 4): credits come from the configured pool capacities, unloaded
+/// latencies from the paper's measurements (Table 2). The C2M domains' pools
+/// are per-core LFBs, so `c2m_cores` scales their credits. A latency of 0
+/// means "measure it" -- the paper derives P2M-Read's unloaded latency from
+/// the testbed rather than quoting a constant.
+inline std::array<DomainSpec, mem::kNumTrafficClasses> domain_specs(
+    const HostConfig& c, std::uint32_t c2m_cores = 1) {
+  std::array<DomainSpec, mem::kNumTrafficClasses> specs{};
+  auto& cr = specs[static_cast<std::size_t>(Domain::kC2MRead)];
+  cr.domain = Domain::kC2MRead;
+  cr.credits = static_cast<double>(c2m_cores * c.core.lfb_entries);
+  cr.unloaded_latency_ns = 70;
+  cr.includes_dram = true;
+  auto& cw = specs[static_cast<std::size_t>(Domain::kC2MWrite)];
+  cw.domain = Domain::kC2MWrite;
+  cw.credits = static_cast<double>(c2m_cores * c.core.lfb_entries);
+  cw.unloaded_latency_ns = 10;
+  cw.includes_dram = false;  // ends at the CHA acknowledgment
+  auto& pr = specs[static_cast<std::size_t>(Domain::kP2MRead)];
+  pr.domain = Domain::kP2MRead;
+  pr.credits = static_cast<double>(c.iio.read_credits);
+  pr.unloaded_latency_ns = 0;
+  pr.includes_dram = true;
+  auto& pw = specs[static_cast<std::size_t>(Domain::kP2MWrite)];
+  pw.domain = Domain::kP2MWrite;
+  pw.credits = static_cast<double>(c.iio.write_credits);
+  pw.unloaded_latency_ns = 300;
+  pw.includes_dram = false;  // ends at WPQ admission
+  return specs;
+}
 
 /// Cascade Lake testbed: 8 cores, 2x DDR4-2933 (46.9 GB/s), PCIe ~16 GB/s.
 inline HostConfig cascade_lake() {

@@ -28,6 +28,11 @@ class LatencyStation {
     histogram_.add(l);
   }
 
+  /// Leave without a latency sample: occupancy-only stations (pools whose
+  /// hold latency is measured elsewhere) keep their integral exact without
+  /// polluting the completion count or histogram.
+  void leave_untimed(Tick now) { occ_.add(now, -1); }
+
   /// Begin a fresh measurement window at `now` (occupancy level persists).
   void reset(Tick now) {
     occ_.reset(now);
@@ -43,6 +48,9 @@ class LatencyStation {
   std::int64_t occupancy() const { return occ_.level(); }
   std::int64_t max_occupancy() const { return occ_.max_level(); }
   double avg_occupancy(Tick now) { return occ_.average(now); }
+  /// Direct access to the occupancy integral (e.g. the CHA exposes its
+  /// write-tracker backlog integral as the formula's N_waiting input).
+  TimeWeighted& occupancy_integral() { return occ_; }
   std::uint64_t completions() const { return completions_; }
 
   /// Mean latency from direct per-request measurement.

@@ -10,7 +10,14 @@ namespace hostnet::cpu {
 Core::Core(sim::Simulator& sim, cha::Cha& cha, const CoreConfig& cfg,
            const CoreWorkload& wl, std::uint16_t id, std::uint64_t seed)
     : sim_(sim), cha_(cha), cfg_(cfg), wl_(wl), id_(id), rng_(seed) {
-  lfb_ledger_.set_capacity(lfb_capacity());
+  flow::CreditPoolSpec lfb;
+  lfb.name = "cpu.lfb";
+  lfb.capacity = lfb_capacity();
+  lfb_pool_.configure(lfb);
+  flow::CreditPoolSpec wr;
+  wr.name = "cpu.c2m-write";
+  wr.capacity = 0;  // telemetry-only: the LFB entry is the binding resource
+  write_pool_.configure(wr);
 }
 
 std::uint32_t Core::lfb_capacity() const {
@@ -50,7 +57,7 @@ void Core::pump() {
   if (paused_) return;
   if (episodic()) {
     // Issue the remainder of the current episode as LFB slots free up.
-    while (inflight_ < lfb_capacity() &&
+    while (lfb_pool_.has_space() &&
            (episode_reads_to_issue_ > 0 || episode_writes_to_issue_ > 0)) {
       const bool is_store = episode_writes_to_issue_ > 0;
       if (is_store)
@@ -61,13 +68,13 @@ void Core::pump() {
     }
     return;
   }
-  while (inflight_ < lfb_capacity() && !think_pending_) {
+  while (lfb_pool_.has_space() && !think_pending_) {
     if (wl_.think > 0) {
       think_pending_ = true;
       sim_.schedule(wl_.think, [this] {
         think_pending_ = false;
         if (paused_) return;
-        if (inflight_ < lfb_capacity()) {
+        if (lfb_pool_.has_space()) {
           const bool is_store = wl_.write_fraction > 0.0 && rng_.chance(wl_.write_fraction);
           const std::uint64_t addr = wl_.pattern == CoreWorkload::Pattern::kSequential
                                          ? next_seq_addr()
@@ -86,10 +93,8 @@ void Core::pump() {
 }
 
 void Core::issue_read(std::uint64_t addr, bool is_store) {
-  ++inflight_;
-  lfb_ledger_.acquire();
   const Tick now = sim_.now();
-  lfb_station_.enter(now);
+  lfb_pool_.acquire(now);
   mem::Request req;
   req.addr = addr;
   req.op = mem::Op::kRead;  // the store's RFO is a read
@@ -136,7 +141,7 @@ void Core::complete(const mem::Request& req, Tick now) {
     if (req.tag == 1) {
       // Store: data (RFO) arrived; the LFB entry is now held for the write
       // phase until the CHA accepts the write (C2M-Write domain).
-      write_station_.enter(now);
+      write_pool_.acquire(now);
       mem::Request wr;
       wr.addr = req.addr;
       wr.op = mem::Op::kWrite;
@@ -148,21 +153,15 @@ void Core::complete(const mem::Request& req, Tick now) {
       sim_.schedule(cfg_.t_wb_to_cha, [this, wr] { send_to_cha(wr); });
       return;
     }
-    assert(inflight_ > 0);
-    --inflight_;
-    lfb_ledger_.release();
-    lfb_station_.leave(now, req.created);
+    lfb_pool_.release(now, req.created);
     if (auto* tr = sim::Tracer::global())
       tr->complete_event("c2m-read", "domain", req.created, now - req.created,
                          sim::Tracer::kTrackCore + id_);
   } else {
     // CHA acknowledged the write: C2M-Write credit replenished.
     ++lines_written_;
-    assert(inflight_ > 0);
-    --inflight_;
-    lfb_ledger_.release();
-    lfb_station_.leave(now, req.created);
-    write_station_.leave(now, static_cast<Tick>(req.tag));
+    lfb_pool_.release(now, req.created);
+    write_pool_.release(now, static_cast<Tick>(req.tag));
     if (auto* tr = sim::Tracer::global())
       tr->complete_event("c2m-store", "domain", req.created, now - req.created,
                          sim::Tracer::kTrackCore + id_);
@@ -202,8 +201,8 @@ void Core::issue_episode() {
 }
 
 void Core::reset_counters(Tick now) {
-  lfb_station_.reset(now);
-  write_station_.reset(now);
+  lfb_pool_.reset_telemetry(now);
+  write_pool_.reset_telemetry(now);
   lines_read_ = 0;
   lines_written_ = 0;
   queries_ = 0;

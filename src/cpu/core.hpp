@@ -25,10 +25,10 @@
 #include <cstdint>
 
 #include "cha/cha.hpp"
-#include "common/check.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
 #include "counters/station.hpp"
+#include "flow/credit_pool.hpp"
 #include "mem/request.hpp"
 #include "sim/simulator.hpp"
 
@@ -75,9 +75,16 @@ class Core final : public mem::Completer, public cha::ChaClient {
   void complete(const mem::Request& req, Tick now) override;
   bool on_cha_admission(mem::Op op) override;
 
+  // -- credit pools (registered with flow::DomainRegistry) --------------------
+  /// C2M-Read domain pool: the LFB entries themselves.
+  flow::CreditPool& lfb_pool() { return lfb_pool_; }
+  /// C2M-Write domain pool (telemetry-only, unbounded): an entry is "in use"
+  /// from RFO-data arrival until the CHA acknowledges the write.
+  flow::CreditPool& write_pool() { return write_pool_; }
+
   // -- measurement ------------------------------------------------------------
-  counters::LatencyStation& lfb_station() { return lfb_station_; }
-  counters::LatencyStation& write_station() { return write_station_; }
+  counters::LatencyStation& lfb_station() { return lfb_pool_.station(); }
+  counters::LatencyStation& write_station() { return write_pool_.station(); }
   std::uint64_t lines_read() const { return lines_read_; }
   std::uint64_t lines_written() const { return lines_written_; }
   std::uint64_t queries() const { return queries_; }
@@ -86,7 +93,10 @@ class Core final : public mem::Completer, public cha::ChaClient {
   /// Checked-build audit (no-op otherwise): C2M request conservation --
   /// every issued access completed or still holds its LFB entry, and the
   /// holdings never exceeded the LFB capacity.
-  void verify_invariants() const { lfb_ledger_.verify(inflight_, "cpu.lfb"); }
+  void verify_invariants() const {
+    lfb_pool_.verify();
+    write_pool_.verify();
+  }
 
  private:
   std::uint32_t lfb_capacity() const;
@@ -106,8 +116,8 @@ class Core final : public mem::Completer, public cha::ChaClient {
   std::uint16_t id_;
   Rng rng_;
 
-  std::uint32_t inflight_ = 0;        ///< LFB entries in use
-  CreditLedger lfb_ledger_;           ///< issue/complete ledger; empty shell unless checked
+  flow::CreditPool lfb_pool_;    ///< LFB entries (C2M-Read credits + hold time)
+  flow::CreditPool write_pool_;  ///< C2M-Write phase (send -> CHA ack), unbounded
   std::uint64_t seq_line_ = 0;
   bool think_pending_ = false;
   bool paused_ = false;
@@ -127,8 +137,6 @@ class Core final : public mem::Completer, public cha::ChaClient {
   RingBuffer<Blocked> blocked_reads_;
   RingBuffer<Blocked> blocked_writes_;
 
-  counters::LatencyStation lfb_station_;    ///< credit hold time (the LFB latency)
-  counters::LatencyStation write_station_;  ///< C2M-Write domain (send -> CHA ack)
   std::uint64_t lines_read_ = 0;
   std::uint64_t lines_written_ = 0;
   std::uint64_t queries_ = 0;

@@ -8,8 +8,20 @@ namespace hostnet::iio {
 
 Iio::Iio(sim::Simulator& sim, cha::Cha& cha, const IioConfig& cfg, std::uint16_t id)
     : sim_(sim), cha_(cha), cfg_(cfg), id_(id) {
-  write_ledger_.set_capacity(cfg_.write_credits);
-  read_ledger_.set_capacity(cfg_.read_credits);
+  // One freed credit wakes one device (which re-tries and re-registers if it
+  // loses the race); a device waits at most once per op.
+  flow::CreditPoolSpec wr;
+  wr.name = "iio.write-credits";
+  wr.capacity = cfg_.write_credits;
+  wr.wake = flow::WakePolicy::kOnePerNotify;
+  wr.dedup_waiters = true;
+  write_pool_.configure(wr);
+  flow::CreditPoolSpec rd;
+  rd.name = "iio.read-credits";
+  rd.capacity = cfg_.read_credits;
+  rd.wake = flow::WakePolicy::kOnePerNotify;
+  rd.dedup_waiters = true;
+  read_pool_.configure(rd);
 }
 
 bool Iio::try_dma(mem::Op op, std::uint64_t addr, Device* dev, std::uint64_t tag) {
@@ -23,24 +35,20 @@ bool Iio::try_dma(mem::Op op, std::uint64_t addr, Device* dev, std::uint64_t tag
   req.completer = this;
 
   if (op == mem::Op::kWrite) {
-    if (write_in_use_ >= cfg_.write_credits) {
-      register_device(op, dev);
+    if (!write_pool_.has_space()) {
+      write_pool_.enqueue_waiter(&dev->credit_waiter(op));
       return false;
     }
-    ++write_in_use_;
-    write_ledger_.acquire();
-    write_station_.enter(now);
+    write_pool_.acquire(now);
     sim_.schedule(cfg_.t_proc_write + cfg_.t_to_cha, [this, req] { submit(req); });
     return true;
   }
 
-  if (read_in_use_ >= cfg_.read_credits) {
-    register_device(op, dev);
+  if (!read_pool_.has_space()) {
+    read_pool_.enqueue_waiter(&dev->credit_waiter(op));
     return false;
   }
-  ++read_in_use_;
-  read_ledger_.acquire();
-  read_station_.enter(now);
+  read_pool_.acquire(now);
   // Remember who gets the data back.
   std::uint64_t slot = pending_reads_.size();
   for (std::uint64_t i = 0; i < pending_reads_.size(); ++i) {
@@ -83,54 +91,33 @@ bool Iio::on_cha_admission(mem::Op op) {
 void Iio::complete(const mem::Request& req, Tick now) {
   if (req.op == mem::Op::kWrite) {
     // Admitted to the MC WPQ: P2M-Write credit replenished.
-    assert(write_in_use_ > 0);
-    --write_in_use_;
-    write_ledger_.release();
-    write_station_.leave(now, req.created);
+    write_pool_.release(now, req.created);
     if (auto* tr = sim::Tracer::global()) {
       tr->complete_event("p2m-write", "domain", req.created, now - req.created,
                          sim::Tracer::kTrackIio);
-      tr->counter("iio-write-credits", now, static_cast<double>(write_in_use_));
+      tr->counter("iio-write-credits", now, static_cast<double>(write_pool_.in_use()));
     }
-    notify_devices(mem::Op::kWrite);
+    write_pool_.notify();
     return;
   }
   // Data returned to the IIO: P2M-Read credit replenished; complete the
   // PCIe non-posted transaction back to the device.
-  assert(read_in_use_ > 0);
-  --read_in_use_;
-  read_ledger_.release();
-  read_station_.leave(now, req.created);
+  read_pool_.release(now, req.created);
   if (auto* tr = sim::Tracer::global())
     tr->complete_event("p2m-read", "domain", req.created, now - req.created,
                        sim::Tracer::kTrackIio);
   const Pending p = pending_reads_[req.tag];
   pending_reads_[req.tag] = Pending{};
-  notify_devices(mem::Op::kRead);
+  read_pool_.notify();
   if (p.dev != nullptr) {
     sim_.schedule(cfg_.t_complete_read,
                   [this, p] { p.dev->on_read_data(p.tag, sim_.now()); });
   }
 }
 
-void Iio::register_device(mem::Op op, Device* dev) {
-  auto& q = op == mem::Op::kWrite ? write_waiters_ : read_waiters_;
-  for (std::size_t i = 0; i < q.size(); ++i)
-    if (q[i] == dev) return;  // already waiting
-  q.push_back(dev);
-}
-
-void Iio::notify_devices(mem::Op op) {
-  auto& q = op == mem::Op::kWrite ? write_waiters_ : read_waiters_;
-  if (q.empty()) return;
-  Device* d = q.front();
-  q.pop_front();
-  d->on_credit_available(op);
-}
-
 void Iio::reset_counters(Tick now) {
-  write_station_.reset(now);
-  read_station_.reset(now);
+  write_pool_.reset_telemetry(now);
+  read_pool_.reset_telemetry(now);
 }
 
 }  // namespace hostnet::iio

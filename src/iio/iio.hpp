@@ -18,9 +18,9 @@
 #include <vector>
 
 #include "cha/cha.hpp"
-#include "common/check.hpp"
 #include "common/ring_buffer.hpp"
 #include "counters/station.hpp"
+#include "flow/credit_pool.hpp"
 #include "mem/request.hpp"
 #include "sim/simulator.hpp"
 
@@ -39,9 +39,33 @@ struct IioConfig {
 /// TLP) and when read data comes back.
 class Device {
  public:
+  Device() {
+    write_waiter_.dev = this;
+    write_waiter_.op = mem::Op::kWrite;
+    read_waiter_.dev = this;
+    read_waiter_.op = mem::Op::kRead;
+  }
   virtual ~Device() = default;
   virtual void on_credit_available(mem::Op op) = 0;
   virtual void on_read_data(std::uint64_t tag, Tick now) = 0;
+
+  /// Per-op adapter for flow::CreditPool waiting: the IIO registers the
+  /// adapter matching the exhausted buffer, so the wake carries which op's
+  /// credit freed (devices with independent RX/TX pumps need this).
+  flow::CreditWaiter& credit_waiter(mem::Op op) {
+    return op == mem::Op::kWrite ? write_waiter_ : read_waiter_;
+  }
+
+ private:
+  struct OpWaiter final : flow::CreditWaiter {
+    void on_credit_available(flow::CreditPool&) override {
+      dev->on_credit_available(op);
+    }
+    Device* dev = nullptr;
+    mem::Op op = mem::Op::kRead;
+  };
+  OpWaiter write_waiter_;
+  OpWaiter read_waiter_;
 };
 
 class Iio final : public mem::Completer, public cha::ChaClient {
@@ -52,8 +76,12 @@ class Iio final : public mem::Completer, public cha::ChaClient {
   /// credit is available; the device will get on_credit_available().
   bool try_dma(mem::Op op, std::uint64_t addr, Device* dev, std::uint64_t tag);
 
-  std::uint32_t write_credits_free() const { return cfg_.write_credits - write_in_use_; }
-  std::uint32_t read_credits_free() const { return cfg_.read_credits - read_in_use_; }
+  std::uint32_t write_credits_free() const { return cfg_.write_credits - write_pool_.in_use(); }
+  std::uint32_t read_credits_free() const { return cfg_.read_credits - read_pool_.in_use(); }
+
+  // -- credit pools (registered with flow::DomainRegistry) --------------------
+  flow::CreditPool& write_pool() { return write_pool_; }  ///< P2M-Write domain
+  flow::CreditPool& read_pool() { return read_pool_; }    ///< P2M-Read domain
 
   // -- mem::Completer / cha::ChaClient ---------------------------------------
   void complete(const mem::Request& req, Tick now) override;
@@ -61,16 +89,16 @@ class Iio final : public mem::Completer, public cha::ChaClient {
 
   // -- measurement ------------------------------------------------------------
   /// IIO buffer residency = the P2M domain latency ("IIO latency", Fig 6c).
-  counters::LatencyStation& write_station() { return write_station_; }
-  counters::LatencyStation& read_station() { return read_station_; }
+  counters::LatencyStation& write_station() { return write_pool_.station(); }
+  counters::LatencyStation& read_station() { return read_pool_.station(); }
   void reset_counters(Tick now);
 
   /// Checked-build audit (no-op otherwise): P2M credit conservation --
   /// credits outstanding plus free equals the configured pool on both the
   /// read and write side.
   void verify_invariants() const {
-    write_ledger_.verify(write_in_use_, "iio.write-credits");
-    read_ledger_.verify(read_in_use_, "iio.read-credits");
+    write_pool_.verify();
+    read_pool_.verify();
   }
 
  private:
@@ -79,30 +107,21 @@ class Iio final : public mem::Completer, public cha::ChaClient {
     Tick since;
   };
   void submit(mem::Request req);
-  void register_device(mem::Op op, Device* dev);
-  void notify_devices(mem::Op op);
 
   sim::Simulator& sim_;
   cha::Cha& cha_;
   IioConfig cfg_;
   std::uint16_t id_;
 
-  std::uint32_t write_in_use_ = 0;
-  std::uint32_t read_in_use_ = 0;
-  CreditLedger write_ledger_;  ///< empty shells unless HOSTNET_CHECKED
-  CreditLedger read_ledger_;
+  flow::CreditPool write_pool_;  ///< P2M-Write credits (IIO write buffer)
+  flow::CreditPool read_pool_;   ///< P2M-Read credits (IIO read buffer)
   RingBuffer<Blocked> blocked_reads_;
   RingBuffer<Blocked> blocked_writes_;
-  RingBuffer<Device*> write_waiters_;
-  RingBuffer<Device*> read_waiters_;
   struct Pending {
     Device* dev;
     std::uint64_t tag;
   };
   std::vector<Pending> pending_reads_;  ///< indexed by request tag slot
-
-  counters::LatencyStation write_station_;
-  counters::LatencyStation read_station_;
 };
 
 }  // namespace hostnet::iio

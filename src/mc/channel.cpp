@@ -22,7 +22,17 @@ Channel::Channel(sim::Simulator& sim, const ChannelConfig& cfg, std::uint32_t ba
   // between fires (stale-write deadlines plus near-term bus/bank kicks);
   // reserve enough that the tracking itself never allocates in steady state.
   kick_inflight_.reserve(64);
-  occupancy_ledger_.set_capacity(cfg.rpq_capacity + cfg.wpq_capacity);
+  flow::CreditPoolSpec rpq;
+  rpq.name = "mc.rpq";
+  rpq.capacity = cfg.rpq_capacity;
+  rpq_pool_.configure(rpq);
+  flow::CreditPoolSpec wpq;
+  wpq.name = "mc.wpq";
+  wpq.capacity = cfg.wpq_capacity;
+  wpq.backpressure = flow::BackpressurePolicy::kHysteresis;
+  wpq.high_watermark = cfg.wpq_high_wm;
+  wpq.low_watermark = cfg.wpq_low_wm;
+  wpq_pool_.configure(wpq);
 }
 
 void Channel::enqueue_read(const mem::Request& req, const dram::Coord& coord) {
@@ -33,8 +43,7 @@ void Channel::enqueue_read(const mem::Request& req, const dram::Coord& coord) {
   // a mode switch) marks the scan dirty at its own site.
   if (mode_ == Mode::kRead && rpq_.in_window(slot) && bank_pending_[coord.bank] == -1)
     prep_dirty_ = true;
-  occupancy_ledger_.acquire();
-  counters_.rpq_occ.add(sim_.now(), +1);
+  rpq_pool_.acquire(sim_.now());
   kick();
 }
 
@@ -43,8 +52,7 @@ void Channel::enqueue_write(const mem::Request& req, const dram::Coord& coord) {
   const auto slot = wpq_.push_back(req, coord, sim_.now(), next_entry_id_++);
   if (mode_ == Mode::kWrite && wpq_.in_window(slot) && bank_pending_[coord.bank] == -1)
     prep_dirty_ = true;
-  occupancy_ledger_.acquire();
-  counters_.wpq_occ.add(sim_.now(), +1);
+  wpq_pool_.acquire(sim_.now());
   // A lone write enqueued while the controller idles in read mode must not
   // wait forever: arm the stale-write timer.
   if (mode_ == Mode::kRead) request_kick_at(sim_.now() + cfg_.max_write_age);
@@ -54,7 +62,7 @@ void Channel::enqueue_write(const mem::Request& req, const dram::Coord& coord) {
 void Channel::maybe_switch_mode(Tick now) {
   if (mode_ == Mode::kRead) {
     const bool dwell_done = now >= read_dwell_until_;
-    const bool high = wpq_.size() >= cfg_.wpq_high_wm;
+    const bool high = wpq_pool_.above_high();
     // Opportunistic drains only for stale writes: switching on momentary RPQ
     // emptiness thrashes the bus direction at low load.
     const bool idle_drain = rpq_.empty() && !wpq_.empty() &&
@@ -74,7 +82,7 @@ void Channel::maybe_switch_mode(Tick now) {
       }
     }
   } else {
-    const bool drained = !rpq_.empty() && wpq_.size() <= cfg_.wpq_low_wm;
+    const bool drained = !rpq_.empty() && wpq_pool_.at_or_below_low();
     if (drained) {
       mode_ = Mode::kRead;
       prep_dirty_ = true;
@@ -148,7 +156,6 @@ bool Channel::try_issue(Tick now) {
 
   const Entry e = q.entry(it);
   q.erase(it);
-  occupancy_ledger_.release();
   bank_pending_[e.coord.bank] = -1;
   prep_dirty_ = true;  // a bank freed and the prep window slid forward
   // Row-buffer outcomes are accounted per issued line (formula inputs are
@@ -160,7 +167,7 @@ bool Channel::try_issue(Tick now) {
 
   if (e.req.op == mem::Op::kRead) {
     counters_.on_read_issued(e.coord.bank);
-    counters_.rpq_occ.add(now, -1);
+    rpq_pool_.release(now);
     const Tick done = now + cfg_.timing.t_cas + cfg_.timing.t_trans;
     const mem::Request req = e.req;
     auto completion = [this, req, done] { listener_->on_read_data(req, done); };
@@ -171,7 +178,7 @@ bool Channel::try_issue(Tick now) {
     listener_->on_rpq_slot_freed(index_, now);
   } else {
     ++counters_.lines_written;
-    counters_.wpq_occ.add(now, -1);
+    wpq_pool_.release(now);
     const Tick done = now + cfg_.timing.t_trans;
     auto completion = [this, done] { listener_->on_wpq_slot_freed(index_, done); };
     static_assert(sizeof(completion) <= sim::Event::kInlineBytes &&
@@ -232,8 +239,16 @@ void Channel::verify_invariants() const {
   rpq_.verify_arena("mc.rpq");
   wpq_.verify_arena("mc.wpq");
   // Request conservation through the channel: every enqueued entry was
-  // either issued to DRAM or still occupies an arena slot.
-  occupancy_ledger_.verify(rpq_.size() + wpq_.size(), "mc.queue-occupancy");
+  // either issued to DRAM or still occupies an arena slot, and the pools'
+  // credit counts track the arenas exactly.
+  rpq_pool_.verify();
+  wpq_pool_.verify();
+  HOSTNET_INVARIANT(rpq_pool_.in_use() == rpq_.size(),
+                    "mc.rpq: pool holds %u credits but the arena holds %zu entries",
+                    rpq_pool_.in_use(), rpq_.size());
+  HOSTNET_INVARIANT(wpq_pool_.in_use() == wpq_.size(),
+                    "mc.wpq: pool holds %u credits but the arena holds %zu entries",
+                    wpq_pool_.in_use(), wpq_.size());
   // Bank-ownership bijection: every prepped entry owns its bank, and every
   // owned bank names a live prepped entry.
   const SlotQueue* queues[] = {&rpq_, &wpq_};

@@ -29,6 +29,7 @@
 #include "dram/address_map.hpp"
 #include "dram/bank.hpp"
 #include "dram/timing.hpp"
+#include "flow/credit_pool.hpp"
 #include "mc/slot_queue.hpp"
 #include "mem/request.hpp"
 #include "sim/simulator.hpp"
@@ -82,7 +83,17 @@ class Channel {
 
   counters::McChannelCounters& counters() { return counters_; }
   const counters::McChannelCounters& counters() const { return counters_; }
-  void reset_counters(Tick now) { counters_.reset(now); }
+  void reset_counters(Tick now) {
+    counters_.reset(now);
+    rpq_pool_.reset_telemetry(now);
+    wpq_pool_.reset_telemetry(now);
+  }
+
+  // -- credit pools (registered with flow::DomainRegistry, interior) ---------
+  /// The queues' occupancy pools: in_use mirrors the arena sizes exactly;
+  /// the WPQ pool carries the drain watermarks (kHysteresis).
+  flow::CreditPool& rpq_pool() { return rpq_pool_; }
+  flow::CreditPool& wpq_pool() { return wpq_pool_; }
 
   std::size_t rpq_size() const { return rpq_.size(); }
   std::size_t wpq_size() const { return wpq_.size(); }
@@ -140,7 +151,8 @@ class Channel {
   Tick next_kick_at_ = std::numeric_limits<Tick>::max();
   std::vector<Tick> kick_inflight_;  ///< ticks with a wake-up event in flight
   KickStats kick_stats_;
-  CreditLedger occupancy_ledger_;  ///< enqueues vs issues; empty shell unless checked
+  flow::CreditPool rpq_pool_;  ///< RPQ occupancy (slots in use)
+  flow::CreditPool wpq_pool_;  ///< WPQ occupancy + drain watermarks
 
   counters::McChannelCounters counters_;
 };

@@ -27,7 +27,12 @@ CopyCore::CopyCore(sim::Simulator& sim, cha::Cha& cha, const cpu::CoreConfig& cf
       proto_time_(proto_time),
       lines_per_packet_(lines_per_packet),
       app_in_cache_(app_in_cache),
-      id_(id) {}
+      id_(id) {
+  flow::CreditPoolSpec spec;
+  spec.name = "net.copy.lfb";
+  spec.capacity = cfg_.lfb_entries;
+  lfb_pool_.configure(spec);
+}
 
 void CopyCore::notify_work() { try_start_packet(); }
 
@@ -45,11 +50,10 @@ void CopyCore::try_start_packet() {
 }
 
 void CopyCore::pump() {
-  while (inflight_ < cfg_.lfb_entries && lines_to_issue_ > 0) {
+  while (lfb_pool_.has_space() && lines_to_issue_ > 0) {
     --lines_to_issue_;
     const std::uint64_t line = line_cursor_++ % socket_buf_.lines();
-    ++inflight_;
-    lfb_station_.enter(sim_.now());
+    lfb_pool_.acquire(sim_.now());
     mem::Request req;
     req.addr = socket_buf_.base + line * kCachelineBytes;
     req.op = mem::Op::kRead;
@@ -116,9 +120,7 @@ void CopyCore::complete(const mem::Request& req, Tick now) {
   }
 
   // Write acknowledged by the CHA: the line is copied, slot freed.
-  assert(inflight_ > 0);
-  --inflight_;
-  lfb_station_.leave(now, req.created);
+  lfb_pool_.release(now, req.created);
   ++lines_copied_;
   assert(lines_outstanding_ > 0);
   --lines_outstanding_;

@@ -21,6 +21,7 @@
 #include "core/experiment.hpp"
 #include "core/host_system.hpp"
 #include "counters/station.hpp"
+#include "flow/credit_pool.hpp"
 #include "net/nic_device.hpp"
 
 namespace hostnet::net {
@@ -72,11 +73,11 @@ class CopyCore final : public mem::Completer, public cha::ChaClient {
   void complete(const mem::Request& req, Tick now) override;
   bool on_cha_admission(mem::Op op) override;
 
-  counters::LatencyStation& lfb_station() { return lfb_station_; }
+  counters::LatencyStation& lfb_station() { return lfb_pool_.station(); }
   std::uint64_t packets_copied() const { return packets_copied_; }
   std::uint64_t lines_copied() const { return lines_copied_; }
   void reset_counters(Tick now) {
-    lfb_station_.reset(now);
+    lfb_pool_.reset_telemetry(now);
     packets_copied_ = 0;
     lines_copied_ = 0;
   }
@@ -103,7 +104,6 @@ class CopyCore final : public mem::Completer, public cha::ChaClient {
   bool busy_ = false;           ///< processing a packet (incl. proto time)
   std::uint32_t lines_to_issue_ = 0;
   std::uint32_t lines_outstanding_ = 0;
-  std::uint32_t inflight_ = 0;
   std::uint64_t line_cursor_ = 0;
 
   struct Blocked {
@@ -113,7 +113,9 @@ class CopyCore final : public mem::Completer, public cha::ChaClient {
   std::deque<Blocked> blocked_reads_;
   std::deque<Blocked> blocked_writes_;
 
-  counters::LatencyStation lfb_station_;
+  /// Copy-MLP bound (the core's LFB). A case-study component, not part of
+  /// the HostSystem, so it stays off the DomainRegistry.
+  flow::CreditPool lfb_pool_;
   std::uint64_t packets_copied_ = 0;
   std::uint64_t lines_copied_ = 0;
 };
@@ -154,6 +156,8 @@ class TcpReceiver {
   // Sender state.
   double cwnd_ = 16;
   double alpha_ = 0;
+  // Wire-side packets in flight against the sender's cwnd -- a transport
+  // window, not a host credit domain. hostnet-lint: allow(raw-credit-counter)
   std::uint32_t inflight_ = 0;
   bool wire_busy_ = false;
   std::uint64_t epoch_acks_ = 0;

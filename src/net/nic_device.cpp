@@ -9,10 +9,16 @@ NicDevice::NicDevice(sim::Simulator& sim, iio::Iio& iio, const NicConfig& cfg)
       iio_(iio),
       cfg_(cfg),
       t_line_(serialization_ticks(kCachelineBytes, cfg.pcie_gb_per_s)),
-      t_packet_(serialization_ticks(cfg.mtu_bytes, cfg.wire_gb_per_s)) {}
+      t_packet_(serialization_ticks(cfg.mtu_bytes, cfg.wire_gb_per_s)),
+      t_tx_line_(cfg.tx_gb_per_s > 0
+                     ? serialization_ticks(kCachelineBytes, cfg.tx_gb_per_s)
+                     : 0) {
+  if (cfg_.tx_region.lines() == 0) cfg_.tx_region = cfg_.region;
+}
 
 void NicDevice::start() {
   if (cfg_.autonomous) schedule_arrival();
+  if (cfg_.tx_gb_per_s > 0) tx_pump();
 }
 
 void NicDevice::schedule_arrival() {
@@ -63,12 +69,12 @@ bool NicDevice::offer_packet(bool* ecn_marked) {
 }
 
 void NicDevice::pump() {
-  if (link_busy_ || waiting_credit_) return;
+  if (link_busy_ || waiting_write_credit_) return;
   if (buffer_bytes_ < kCachelineBytes) return;
   const std::uint64_t addr =
       cfg_.region.base + (dma_line_cursor_ % cfg_.region.lines()) * kCachelineBytes;
   if (!iio_.try_dma(mem::Op::kWrite, addr, this, 0)) {
-    waiting_credit_ = true;
+    waiting_write_credit_ = true;
     return;
   }
   buffer_bytes_ -= kCachelineBytes;
@@ -89,13 +95,38 @@ void NicDevice::pump() {
   });
 }
 
-void NicDevice::on_credit_available(mem::Op /*op*/) {
-  waiting_credit_ = false;
-  pump();
+// TX: stream DMA reads from host memory at the TX wire rate. Shares the
+// device with the RX pump but stalls on the IIO *read* pool, so it must
+// wait -- and be woken -- independently of the writes.
+void NicDevice::tx_pump() {
+  if (tx_link_busy_ || waiting_read_credit_) return;
+  const std::uint64_t addr =
+      cfg_.tx_region.base +
+      (tx_line_cursor_ % cfg_.tx_region.lines()) * kCachelineBytes;
+  if (!iio_.try_dma(mem::Op::kRead, addr, this, tx_line_cursor_)) {
+    waiting_read_credit_ = true;
+    return;
+  }
+  ++tx_line_cursor_;
+  tx_link_busy_ = true;
+  sim_.schedule(t_tx_line_, [this] {
+    tx_link_busy_ = false;
+    tx_pump();
+  });
+}
+
+void NicDevice::on_credit_available(mem::Op op) {
+  if (op == mem::Op::kWrite) {
+    waiting_write_credit_ = false;
+    pump();
+  } else {
+    waiting_read_credit_ = false;
+    tx_pump();
+  }
 }
 
 void NicDevice::on_read_data(std::uint64_t /*tag*/, Tick /*now*/) {
-  // RX path issues only DMA writes.
+  bytes_tx_ += kCachelineBytes;  // payload fetched; hits the wire
 }
 
 void NicDevice::note_pause(Tick now, bool pause) {
@@ -117,7 +148,7 @@ double NicDevice::pause_fraction(Tick now) const {
 }
 
 void NicDevice::reset_counters(Tick now) {
-  bytes_accepted_ = bytes_dma_ = 0;
+  bytes_accepted_ = bytes_dma_ = bytes_tx_ = 0;
   packets_accepted_ = packets_dropped_ = packets_marked_ = 0;
   paused_time_ = 0;
   if (paused_) pause_started_ = now;

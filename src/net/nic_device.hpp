@@ -30,6 +30,9 @@ struct NicConfig {
   std::uint32_t mtu_bytes = 4096;
   std::uint64_t rx_buffer_bytes = 512 << 10;
   bool autonomous = true;              ///< self-generate line-rate arrivals
+  // TX (DMA reads from host memory toward the wire); 0 disables the path.
+  double tx_gb_per_s = 0;
+  mem::Region tx_region{};             ///< TX payload source; defaults to `region`
   // PFC
   bool pfc = true;
   std::uint64_t pause_threshold = 384 << 10;
@@ -65,6 +68,7 @@ class NicDevice final : public iio::Device {
   // -- measurement ------------------------------------------------------------
   std::uint64_t bytes_accepted() const { return bytes_accepted_; }
   std::uint64_t bytes_dma() const { return bytes_dma_; }
+  std::uint64_t bytes_tx() const { return bytes_tx_; }
   std::uint64_t packets_dropped() const { return packets_dropped_; }
   std::uint64_t packets_accepted() const { return packets_accepted_; }
   std::uint64_t packets_marked() const { return packets_marked_; }
@@ -76,6 +80,7 @@ class NicDevice final : public iio::Device {
   void arrival();
   void schedule_arrival();
   void pump();
+  void tx_pump();
   void note_pause(Tick now, bool pause);
 
   sim::Simulator& sim_;
@@ -83,17 +88,25 @@ class NicDevice final : public iio::Device {
   NicConfig cfg_;
   Tick t_line_;       ///< PCIe serialization per cacheline
   Tick t_packet_;     ///< wire serialization per MTU packet
+  Tick t_tx_line_;    ///< TX wire serialization per cacheline (0 = TX off)
 
   std::uint64_t buffer_bytes_ = 0;
   std::uint64_t dma_line_cursor_ = 0;
+  std::uint64_t tx_line_cursor_ = 0;
   std::uint64_t lines_in_current_packet_ = 0;
   bool link_busy_ = false;
-  bool waiting_credit_ = false;
+  bool tx_link_busy_ = false;
+  // RX (DMA write) and TX (DMA read) pumps stall on different IIO pools, so
+  // each tracks its own wait; a freed credit of one op must not wake the
+  // other pump.
+  bool waiting_write_credit_ = false;
+  bool waiting_read_credit_ = false;
   bool paused_ = false;
   bool arrival_scheduled_ = false;
 
   std::uint64_t bytes_accepted_ = 0;
   std::uint64_t bytes_dma_ = 0;
+  std::uint64_t bytes_tx_ = 0;
   std::uint64_t packets_accepted_ = 0;
   std::uint64_t packets_dropped_ = 0;
   std::uint64_t packets_marked_ = 0;

@@ -100,7 +100,8 @@ TEST(Formula, ChaCorrectionOnlyWhenRequested) {
   core::Metrics m;
   m.channels = 2;
   m.c2m_cores = 1;
-  m.lfb_avg_occupancy = 12;
+  m.c2m_read.credits_in_use = 12;  // the formula's credits source (registry)
+  m.lfb_avg_occupancy = 12;        // legacy alias, kept in sync by collect()
   m.mc_lines_read = 1000;
   m.cha_admission_wait_ns[0] = 50.0;  // C2M-Read
   const Constants c;

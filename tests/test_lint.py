@@ -60,6 +60,11 @@ class BadFixtures(unittest.TestCase):
     def test_magic_tick(self):
         self.assert_findings(fixture("src", "sim", "bad_magic_tick.cpp"), "magic-tick", 2)
 
+    def test_raw_credit_counter(self):
+        # *_in_use_, *inflight_, *_used_: three findings.
+        self.assert_findings(fixture("src", "cpu", "bad_raw_credit.cpp"),
+                             "raw-credit-counter", 3)
+
     def test_unknown_allow_id_is_an_error(self):
         res = run_lint(fixture("bad_allow_id.cpp"))
         self.assertEqual(res.returncode, 1, msg=res.stdout + res.stderr)
@@ -77,6 +82,7 @@ class CleanFixtures(unittest.TestCase):
         ("src", "sim", "clean_hot_alloc.cpp"),
         ("clean_pragma_once.hpp",),
         ("src", "sim", "clean_magic_tick.cpp"),
+        ("src", "cpu", "clean_raw_credit.cpp"),
     ]
 
     def test_clean_fixtures(self):
@@ -85,6 +91,12 @@ class CleanFixtures(unittest.TestCase):
                 res = run_lint(fixture(*parts))
                 self.assertEqual(res.returncode, 0,
                                  msg=res.stdout + res.stderr)
+
+    def test_raw_credit_outside_credit_scope_is_fine(self):
+        # The same declarations are legal outside src/{cpu,cha,iio,mc,net}:
+        # the bad fixture's counters under a plain tests/ path lint clean.
+        res = run_lint(fixture("bad_unordered_iter.cpp"))
+        self.assertNotIn("[raw-credit-counter]", res.stdout)
 
     def test_hot_alloc_outside_hot_path_is_fine(self):
         # The same constructs that fail under src/sim are legal elsewhere:
@@ -99,7 +111,7 @@ class ToolInterface(unittest.TestCase):
         res = run_lint("--list-checks")
         self.assertEqual(res.returncode, 0)
         for check in ("wall-clock", "raw-rand", "unordered-iter", "hot-alloc",
-                      "pragma-once", "magic-tick"):
+                      "pragma-once", "magic-tick", "raw-credit-counter"):
             self.assertIn(check, res.stdout)
 
     def test_list_allows_counts_suppressions(self):

@@ -70,6 +70,42 @@ TEST(NicDevice, LossyModeDropsWhenFull) {
   EXPECT_GE(marked, 1);    // packets above the 8 KB ECN threshold
 }
 
+TEST(NicDevice, MixedRxTxProgressUnderCreditExhaustion) {
+  // Regression for the single waiting_credit_ flag the NIC used to carry:
+  // with both the RX (DMA write) and TX (DMA read) pumps blocked on their
+  // exhausted IIO pools, a freed credit of one op must wake exactly that
+  // pump -- under the shared flag, the read-credit wake cleared the write
+  // wait and re-ran only the RX pump, wedging TX permanently.
+  auto hc = core::cascade_lake();
+  hc.iio.write_credits = 4;  // starve both pools so both pumps block
+  hc.iio.read_credits = 4;
+  core::HostSystem host(hc);
+  NicConfig nc;
+  nc.region = workloads::p2m_region();
+  nc.tx_gb_per_s = 12.0;
+  nc.tx_region = workloads::p2m_region();
+  nc.tx_region.base += 4ull << 30;
+  NicDevice nic(host.sim(), host.iio(), nc);
+  host.attach([&nic] { nic.start(); }, [&nic](Tick t) { nic.reset_counters(t); });
+  host.run(us(100), us(500));
+  const double rx_gbps = gb_per_s(nic.bytes_dma(), us(500));
+  const double tx_gbps = gb_per_s(nic.bytes_tx(), us(500));
+  // Both directions keep flowing (the 4-credit pools throttle hard, but a
+  // wedged pump would show ~0): neither starves the other out.
+  EXPECT_GT(rx_gbps, 0.3);
+  EXPECT_GT(tx_gbps, 0.3);
+}
+
+TEST(NicDevice, TxPathOffByDefault) {
+  core::HostSystem host(core::cascade_lake());
+  NicConfig nc;
+  nc.region = workloads::p2m_region();
+  NicDevice nic(host.sim(), host.iio(), nc);
+  host.attach([&nic] { nic.start(); }, [&nic](Tick t) { nic.reset_counters(t); });
+  host.run(us(100), us(200));
+  EXPECT_EQ(nic.bytes_tx(), 0u);
+}
+
 TEST(Rdma, WriteTrafficShowsBlueRegime) {
   // RDMA quadrant 1 (Appendix C): C2M-Read degrades, RoCE throughput does
   // not, and PFC stays quiet.

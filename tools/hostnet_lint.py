@@ -32,6 +32,16 @@ Checks (ids are stable; use them in suppressions):
   magic-tick      4+-digit decimal literals on Tick-typed lines outside
                   common/units.hpp: tick constants belong in units.hpp or
                   behind its ns()/us()/ms() helpers.
+  raw-credit-counter
+                  an integral member that looks like an ad-hoc credit pool
+                  (*_in_use_, *inflight_, *_used_) declared in the flow-
+                  controlled subsystems (src/cpu, src/cha, src/iio, src/mc,
+                  src/net). Credit accounting belongs in flow::CreditPool,
+                  which carries the ledger, occupancy telemetry and waiter
+                  wakeups; a raw counter silently opts out of all three.
+                  Counters that genuinely are not host credit domains (e.g.
+                  a TCP sender's wire-side cwnd) get an allow() with a
+                  justification.
 
 Suppression: append `// hostnet-lint: allow(<check>[, <check>...])` to the
 offending line, or put it alone on the line above. Suppressions are meant to
@@ -63,6 +73,11 @@ SKIP_DIR_PREFIXES = ("build-",)
 # Subsystems with a zero-steady-state-allocation contract (DESIGN.md 4a/4b).
 HOT_PATH_DIRS = ("src/sim", "src/mc", "src/cha", "src/cpu", "src/iio")
 
+# Subsystems whose flow control must go through flow::CreditPool
+# (DESIGN.md 4d). src/flow itself is exempt: the pool's own in_use_ lives
+# there.
+CREDIT_POOL_DIRS = ("src/cpu", "src/cha", "src/iio", "src/mc", "src/net")
+
 ALLOW_RE = re.compile(r"hostnet-lint:\s*allow\(([^)]*)\)")
 
 CHECKS = {
@@ -72,6 +87,7 @@ CHECKS = {
     "hot-alloc": "allocating/indirect type banned in hot-path subsystems",
     "pragma-once": "header missing #pragma once",
     "magic-tick": "magic tick constant outside common/units.hpp",
+    "raw-credit-counter": "ad-hoc credit/occupancy counter outside flow::CreditPool",
 }
 
 WALL_CLOCK_RE = re.compile(
@@ -97,6 +113,13 @@ RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:this->)?(\w+)\s*\)")
 # in a units.hpp helper (ns(2730) is the sanctioned spelling).
 MAGIC_INT_RE = re.compile(r"(?<![\w.'])(?<!ns\()(?<!us\()(?<!ms\()\d{4,}(?:'\d+)*(?![\w.'])")
 TICK_LINE_RE = re.compile(r"\bTick\b|\bticks\b|_ps\b")
+# An integral declaration whose name marks it as tracking credits/occupancy:
+# `std::uint32_t wpq_in_use_ = 0;`, `unsigned inflight_;` -- but not an
+# accessor (`std::uint32_t read_tor_used() const` has a '(' after the name).
+RAW_CREDIT_RE = re.compile(
+    r"\b(?:std::)?(?:u?int(?:8|16|32|64)_t|size_t|unsigned(?:\s+(?:int|long))?|int|long)"
+    r"\s+(\w*(?:in_use|in_?flight|_used)\w*_)\s*(?:=\s*[^;]*)?;"
+)
 
 
 def strip_comments_and_strings(text):
@@ -209,6 +232,10 @@ def lint_file(path, display_path, collect_allows=None):
         display_path.startswith(d + "/") or ("/" + d + "/") in display_path
         for d in HOT_PATH_DIRS
     )
+    in_credit_scope = any(
+        display_path.startswith(d + "/") or ("/" + d + "/") in display_path
+        for d in CREDIT_POOL_DIRS
+    )
     is_header = display_path.endswith((".hpp", ".h"))
     is_units = display_path.endswith("common/units.hpp")
     in_src = display_path.startswith("src/") or "/src/" in display_path
@@ -255,6 +282,13 @@ def lint_file(path, display_path, collect_allows=None):
                 report(lineno, "hot-alloc",
                        f"new-expression '{m.group(0)}' in a hot-path subsystem; "
                        "steady-state paths must not allocate")
+        if in_credit_scope:
+            m = RAW_CREDIT_RE.search(line)
+            if m:
+                report(lineno, "raw-credit-counter",
+                       f"'{m.group(1)}' looks like an ad-hoc credit pool; use "
+                       "flow::CreditPool (ledger + occupancy telemetry + waiter "
+                       "wakeups) or justify with an allow()")
         if in_src and not is_units and TICK_LINE_RE.search(line):
             m = MAGIC_INT_RE.search(line)
             if m:
