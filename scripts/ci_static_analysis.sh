@@ -49,6 +49,10 @@ step "4/7 checked-invariant build + full tier-1 suite"
 cmake -B build-checked -S . -DHOSTNET_CHECKED=ON >/dev/null
 cmake --build build-checked -j "${jobs}"
 ctest --test-dir build-checked -LE "perf|golden" -j "${jobs}" --output-on-failure
+# Checkpoint/fork engine under live invariants, gated explicitly: restore()
+# audits the restored event queue event-by-event only in this build mode
+# (label wired in tests/CMakeLists.txt).
+ctest --test-dir build-checked -L checkpoint --output-on-failure
 
 if [[ ${quick} -eq 1 ]]; then
   step "quick mode: skipping sanitizers + perf gate + goldens"

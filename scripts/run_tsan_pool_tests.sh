@@ -14,7 +14,8 @@ build_dir="${1:-"${repo_root}/build-tsan"}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DHOSTNET_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${build_dir}" --target hostnet_tests -j "$(nproc)"
+cmake --build "${build_dir}" --target hostnet_tests hostnet_checkpoint_tests \
+  -j "$(nproc)"
 
 # TSan halts on the first data race so a regression fails the run loudly.
 TSAN_OPTIONS="halt_on_error=1" \

@@ -29,6 +29,7 @@
 
 #include "cache/ddio.hpp"
 #include "common/ring_buffer.hpp"
+#include "common/snapshot.hpp"
 #include "common/stats.hpp"
 #include "counters/station.hpp"
 #include "flow/credit_pool.hpp"
@@ -160,10 +161,11 @@ class Cha final : public mc::ChannelListener {
     write_pool_.verify();
   }
 
- private:
+  /// A request in flight between admission and the MC boundary.
   struct Transit {
     mem::Request req;
   };
+  /// Per-channel forwarding port state (bounded CHA->MC window).
   struct Port {
     RingBuffer<Transit> read_pending;
     RingBuffer<Transit> write_pending;
@@ -173,6 +175,47 @@ class Cha final : public mc::ChannelListener {
     std::uint32_t write_tokens = 0;
   };
 
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  // Config (sim_, cfg_, mc_) is construction state. Transit entries carry
+  // mem::Request whose completer points into the owning host: same-host
+  // restore only.
+  struct Snapshot {
+    std::vector<Port> ports;
+    flow::CreditPool::Snapshot read_pool;
+    flow::CreditPool::Snapshot write_pool;
+    std::optional<cache::DdioCache> ddio;
+    std::array<counters::LatencyStation, mem::kNumTrafficClasses> stations{};
+    std::array<MeanAccumulator, mem::kNumTrafficClasses> admission_wait_ns{};
+    std::array<std::uint64_t, mem::kNumTrafficClasses> lines_read{};
+    std::array<std::uint64_t, mem::kNumTrafficClasses> lines_written{};
+    std::uint64_t ddio_hits = 0;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.ports = ports_;
+    read_pool_.save_state(out.read_pool);
+    write_pool_.save_state(out.write_pool);
+    out.ddio = ddio_;
+    out.stations = stations_;
+    out.admission_wait_ns = admission_wait_ns_;
+    out.lines_read = lines_read_;
+    out.lines_written = lines_written_;
+    out.ddio_hits = ddio_hits_;
+  }
+
+  void load_state(const Snapshot& s) {
+    ports_ = s.ports;
+    read_pool_.load_state(s.read_pool);
+    write_pool_.load_state(s.write_pool);
+    ddio_ = s.ddio;
+    stations_ = s.stations;
+    admission_wait_ns_ = s.admission_wait_ns;
+    lines_read_ = s.lines_read;
+    lines_written_ = s.lines_written;
+    ddio_hits_ = s.ddio_hits;
+  }
+
+ private:
   static constexpr std::size_t idx(mem::TrafficClass c) { return static_cast<std::size_t>(c); }
 
   void start_read(mem::Request req);
@@ -204,5 +247,7 @@ class Cha final : public mc::ChannelListener {
   std::array<std::uint64_t, mem::kNumTrafficClasses> lines_written_{};
   std::uint64_t ddio_hits_ = 0;
 };
+
+HOSTNET_SNAPSHOT_COVERS(Cha, 33560);
 
 }  // namespace hostnet::cha

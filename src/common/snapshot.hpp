@@ -1,0 +1,41 @@
+// Snapshot-coverage descriptors for the checkpoint/fork layer (DESIGN.md
+// section 4e).
+//
+// Every stateful component declares save_state()/load_state() against a
+// hand-maintained Snapshot struct. The failure mode of that pattern is
+// silent: a new mutable member compiles fine, runs fine, and simply escapes
+// checkpointing -- a restored host then diverges from a cold run in ways
+// the differential tests may take a long time to trip over.
+//
+// HOSTNET_SNAPSHOT_COVERS(T, N) closes the gap with a size tripwire: it
+// static_asserts sizeof(T) against the value recorded when T's Snapshot was
+// last audited. Adding (or resizing) a member changes sizeof(T) and breaks
+// the build at the descriptor, whose message tells the author to extend
+// T::Snapshot and save_state()/load_state() before bumping N. hostnet-lint's
+// `snapshot-coverage` rule enforces that every class declaring save_state()
+// carries a descriptor.
+//
+// sizeof is ABI-specific, so the assert is active only on the blessed ABI
+// every CI configuration shares: x86-64 libstdc++ with the checked-build
+// instrumentation off (HOSTNET_CHECKED swaps CreditLedger for a real
+// object, changing pool sizes). Everywhere else the descriptor still
+// documents coverage and satisfies the lint, but asserts nothing.
+#pragma once
+
+#include <cstddef>
+
+// HOSTNET_SNAPSHOT_SIZE_PROBE disables the asserts so a probe translation
+// unit can print the authoritative sizes for refreshing descriptors
+// (tools/snapshot_sizes.cpp); never define it in a real build.
+#if defined(__GLIBCXX__) && defined(__x86_64__) && !defined(_GLIBCXX_DEBUG) && \
+    !(defined(HOSTNET_CHECKED) && HOSTNET_CHECKED) &&                          \
+    !defined(HOSTNET_SNAPSHOT_SIZE_PROBE)
+#define HOSTNET_SNAPSHOT_COVERS(T, N)                                                 \
+  static_assert(sizeof(T) == (N),                                                     \
+                "sizeof(" #T ") changed: a member was added, removed or resized. "    \
+                "Extend " #T "::Snapshot and save_state()/load_state() so the new "   \
+                "state cannot escape checkpointing, then update this descriptor")
+#else
+#define HOSTNET_SNAPSHOT_COVERS(T, N) \
+  static_assert(sizeof(T) > 0, "snapshot descriptor (size not asserted on this ABI)")
+#endif

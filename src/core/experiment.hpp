@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/domains.hpp"
@@ -51,9 +53,90 @@ struct RunOutcome {
   double p2m_score = 0;  ///< device DMA GB/s
 };
 
+// -- checkpoint/fork sweeps (DESIGN.md section 4e) ----------------------------
+//
+// A sweep measures many points that share a (host config, workloads, seed,
+// warmup) prefix. The fork engine warms a prototype host once per shared
+// prefix, snapshots it at the post-warmup reset_counters() quiesce point,
+// and forks every subsequent point of that prefix from the checkpoint
+// instead of re-warming.
+//
+// Warmup-sharing caveat: two points share a warmed checkpoint ONLY when
+// config_fingerprint() -- a canonical field-by-field encoding of every
+// simulation input -- matches exactly. A point whose warmup genuinely
+// differs (any config field, workload field, seed, or warmup length) gets a
+// different fingerprint and warms independently; sharing is explicit and
+// auditable through SweepCache::stats(). Forked outcomes are bit-identical
+// to cold runs because the simulation is deterministic and the checkpoint
+// restores the complete host state, including the pending-event queue.
+
+/// How run_workloads executes a point.
+enum class SweepMode : std::uint8_t {
+  kAuto,  ///< fork iff a cache is passed or HOSTNET_FORK_SWEEPS=1 is set
+  kCold,  ///< always build + warm a fresh host (reference behaviour)
+  kFork,  ///< fork from the calling thread's SweepCache checkpoints
+};
+
+/// Canonical fingerprint of one simulation configuration: every field of
+/// the host config and workload specs plus seed and warmup, encoded
+/// field-by-field (never whole-struct memcpy -- padding bytes are
+/// indeterminate). Equal fingerprints guarantee identical construction and
+/// warmup; used as the SweepCache checkpoint key.
+std::string config_fingerprint(const HostConfig& host, const std::optional<C2MSpec>& c2m,
+                               const std::optional<P2MSpec>& p2m, std::uint64_t seed,
+                               Tick warmup);
+
+class SweepCache;
+
 /// Build a host with the given workloads and run one measurement window.
+/// With a cache (explicit, or resolved per `mode`), the warmed host is
+/// checkpointed and reused: same-fingerprint points restore instead of
+/// re-warming, and fully-identical (fingerprint + measure) reruns return
+/// the memoized outcome -- legitimate because the simulation is
+/// deterministic. Results are bit-identical to cold runs either way.
 RunOutcome run_workloads(const HostConfig& host, const std::optional<C2MSpec>& c2m,
-                         const std::optional<P2MSpec>& p2m, const RunOptions& opt);
+                         const std::optional<P2MSpec>& p2m, const RunOptions& opt,
+                         SweepCache* cache = nullptr, SweepMode mode = SweepMode::kAuto);
+
+/// Checkpoint + outcome cache for forked sweeps. Single-threaded (use one
+/// per thread; thread_sweep_cache() below); owns the warmed prototype
+/// hosts, so it is expensive while alive and cheap to clear().
+class SweepCache {
+ public:
+  SweepCache();
+  ~SweepCache();
+  SweepCache(const SweepCache&) = delete;
+  SweepCache& operator=(const SweepCache&) = delete;
+
+  struct Stats {
+    std::uint64_t checkpoint_hits = 0;    ///< points forked from a warm host
+    std::uint64_t checkpoint_misses = 0;  ///< prefixes warmed cold
+    std::uint64_t outcome_hits = 0;       ///< fully-memoized reruns
+    std::uint64_t outcome_misses = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t checkpoints() const { return checkpoints_.size(); }
+  void clear();
+
+ private:
+  friend RunOutcome run_workloads(const HostConfig&, const std::optional<C2MSpec>&,
+                                  const std::optional<P2MSpec>&, const RunOptions&,
+                                  SweepCache*, SweepMode);
+  struct Entry;  ///< a warmed HostSystem + its quiesce-point checkpoint
+  std::unordered_map<std::string, std::unique_ptr<Entry>> checkpoints_;
+  std::unordered_map<std::string, RunOutcome> outcomes_;  ///< key + measure window
+  Stats stats_;
+};
+
+/// The calling thread's SweepCache (function-local thread_local: persistent
+/// worker-pool threads keep their caches across batches; destroyed at
+/// thread exit).
+SweepCache& thread_sweep_cache();
+
+/// True when HOSTNET_FORK_SWEEPS=1/on/true is set: SweepMode::kAuto points
+/// then fork through thread_sweep_cache(). Read once per process.
+bool fork_sweeps_default();
 
 struct ColocationOutcome {
   RunOutcome iso_c2m;
@@ -72,14 +155,20 @@ struct ColocationOutcome {
 
 /// The full isolation/colocation protocol for one configuration point.
 ColocationOutcome run_colocation(const HostConfig& host, const C2MSpec& c2m,
-                                 const P2MSpec& p2m, const RunOptions& opt);
+                                 const P2MSpec& p2m, const RunOptions& opt,
+                                 SweepCache* cache = nullptr,
+                                 SweepMode mode = SweepMode::kAuto);
 
 /// Sweep the number of C2M cores (the x-axis of most paper figures).
-/// iso_p2m is measured once and shared across points.
+/// iso_p2m is measured once and shared across points. With a cache/fork
+/// mode the iso-P2M prefix (which every point shares) and each per-count
+/// prefix warm once; see the warmup-sharing caveat above.
 std::vector<ColocationOutcome> sweep_c2m_cores(const HostConfig& host, C2MSpec c2m,
                                                const P2MSpec& p2m,
                                                const std::vector<std::uint32_t>& cores,
-                                               const RunOptions& opt);
+                                               const RunOptions& opt,
+                                               SweepCache* cache = nullptr,
+                                               SweepMode mode = SweepMode::kAuto);
 
 // -- parallel sweep engine ---------------------------------------------------
 //
@@ -98,8 +187,12 @@ struct WorkloadPoint {
 };
 
 /// Parallel map of run_workloads over `points`; results in input order.
+/// Forking points (`mode`, or HOSTNET_FORK_SWEEPS under kAuto) use each
+/// worker thread's thread_sweep_cache(), which persists across batches on
+/// the worker pool.
 std::vector<RunOutcome> run_workload_points(const std::vector<WorkloadPoint>& points,
-                                            const RunOptions& opt, unsigned nthreads = 0);
+                                            const RunOptions& opt, unsigned nthreads = 0,
+                                            SweepMode mode = SweepMode::kAuto);
 
 /// One colocation configuration (the unit of a multi-point sweep).
 struct ColocationPoint {
@@ -112,7 +205,8 @@ struct ColocationPoint {
 /// to its three measurement windows (iso C2M, iso P2M, colocated), which are
 /// scheduled as independent jobs for load balancing.
 std::vector<ColocationOutcome> run_colocation_points(const std::vector<ColocationPoint>& points,
-                                                     const RunOptions& opt, unsigned nthreads = 0);
+                                                     const RunOptions& opt, unsigned nthreads = 0,
+                                                     SweepMode mode = SweepMode::kAuto);
 
 /// Parallel variant of sweep_c2m_cores: identical protocol (iso_p2m is
 /// measured once and shared across points) and bit-identical results.
@@ -120,6 +214,7 @@ std::vector<ColocationOutcome> sweep_c2m_cores_parallel(const HostConfig& host, 
                                                         const P2MSpec& p2m,
                                                         const std::vector<std::uint32_t>& cores,
                                                         const RunOptions& opt,
-                                                        unsigned nthreads = 0);
+                                                        unsigned nthreads = 0,
+                                                        SweepMode mode = SweepMode::kAuto);
 
 }  // namespace hostnet::core

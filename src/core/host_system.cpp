@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/check.hpp"
+
 namespace hostnet::core {
 
 HostSystem::HostSystem(const HostConfig& cfg, std::uint64_t seed) : cfg_(cfg), seed_(seed) {
@@ -61,9 +63,12 @@ iio::StorageDevice& HostSystem::add_storage(const iio::StorageConfig& scfg,
 }
 
 void HostSystem::attach(std::function<void()> start, std::function<void(Tick)> reset) {
+  attach(ExternalHooks{std::move(start), std::move(reset), nullptr, nullptr});
+}
+
+void HostSystem::attach(ExternalHooks hooks) {
   assert(!started_ && "attach components before run()");
-  if (start) external_starts_.push_back(std::move(start));
-  if (reset) external_resets_.push_back(std::move(reset));
+  externals_.push_back(std::move(hooks));
 }
 
 void HostSystem::run(Tick warmup, Tick measure) {
@@ -71,7 +76,8 @@ void HostSystem::run(Tick warmup, Tick measure) {
     started_ = true;
     for (auto& c : cores_) c->start();
     for (auto& d : storage_) d->start();
-    for (auto& f : external_starts_) f();
+    for (auto& e : externals_)
+      if (e.start) e.start();
   }
   sim_.run_until(sim_.now() + warmup);
   reset_counters();
@@ -97,7 +103,64 @@ void HostSystem::reset_counters() {
   for (auto& i : iios_) i->reset_counters(now);
   for (auto& c : cores_) c->reset_counters(now);
   for (auto& d : storage_) d->reset_counters();
-  for (auto& f : external_resets_) f(now);
+  for (auto& e : externals_)
+    if (e.reset) e.reset(now);
+}
+
+void HostSystem::save_state(Snapshot& out) const {
+  for (const auto& e : externals_)
+    if (!e.save)
+      throw std::logic_error(
+          "HostSystem::snapshot: an attached external component has no save "
+          "hook; attach(ExternalHooks) with save/load to checkpoint this host");
+  out.owner = this;
+  sim_.save_state(out.sim);
+  mc_->save_state(out.mc);
+  cha_->save_state(out.cha);
+  out.iios.resize(iios_.size());
+  for (std::size_t i = 0; i < iios_.size(); ++i) iios_[i]->save_state(out.iios[i]);
+  out.cores.resize(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) cores_[i]->save_state(out.cores[i]);
+  out.storage.resize(storage_.size());
+  for (std::size_t i = 0; i < storage_.size(); ++i) storage_[i]->save_state(out.storage[i]);
+  out.externals.clear();
+  for (const auto& e : externals_) out.externals.push_back(e.save());
+  out.started = started_;
+  out.measure_start = measure_start_;
+}
+
+void HostSystem::restore(const Snapshot& s) {
+  // Component snapshots embed raw pointers into the producing host (event
+  // `this` captures, CreditWaiter*, mem::Request::completer): restoring
+  // into any other host would dangle every one of them.
+  if (s.owner != this)
+    throw std::logic_error(
+        "HostSystem::restore: snapshot was produced by a different host "
+        "(component snapshots hold pointers into the producing HostSystem)");
+  assert(s.iios.size() == iios_.size() && s.cores.size() == cores_.size() &&
+         s.storage.size() == storage_.size() && s.externals.size() == externals_.size() &&
+         "host topology is construction state and must match the snapshot");
+  sim_.load_state(s.sim);
+  mc_->load_state(s.mc);
+  cha_->load_state(s.cha);
+  for (std::size_t i = 0; i < iios_.size(); ++i) iios_[i]->load_state(s.iios[i]);
+  for (std::size_t i = 0; i < cores_.size(); ++i) cores_[i]->load_state(s.cores[i]);
+  for (std::size_t i = 0; i < storage_.size(); ++i) storage_[i]->load_state(s.storage[i]);
+  for (std::size_t i = 0; i < externals_.size(); ++i) externals_[i].load(s.externals[i]);
+  started_ = s.started;
+  measure_start_ = s.measure_start;
+#if defined(HOSTNET_CHECKED) && HOSTNET_CHECKED
+  // Restore audit: re-saving the restored event queue must reproduce the
+  // snapshot exactly -- i.e. a restore-then-collect run replays the same
+  // event sequence the saved run would. Value members are copy-assigned and
+  // cannot diverge; the reconstructed calendar queue is the part to audit.
+  sim::Simulator::Snapshot resaved;
+  sim_.save_state(resaved);
+  HOSTNET_INVARIANT(sim::Simulator::audit_identical(s.sim, resaved),
+                    "HostSystem::restore: restored event queue is not "
+                    "identical to the snapshot");
+  verify_invariants();
+#endif
 }
 
 Metrics HostSystem::collect() {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cha/cha.hpp"
+#include "common/snapshot.hpp"
 #include "core/metrics.hpp"
 #include "core/presets.hpp"
 #include "cpu/core.hpp"
@@ -28,6 +29,20 @@
 #include "sim/simulator.hpp"
 
 namespace hostnet::core {
+
+/// Hooks for an externally-owned component (NIC / transport model) wired
+/// into the host's lifecycle. `start` runs when the simulation starts,
+/// `reset` on every counter reset. `save`/`load` make the component
+/// checkpointable: save returns an opaque state blob, load restores from
+/// one. HostSystem::snapshot() refuses (throws) when an attached external
+/// has no save hook -- a silent partial checkpoint would fork diverging
+/// simulations.
+struct ExternalHooks {
+  std::function<void()> start;
+  std::function<void(Tick)> reset;
+  std::function<std::shared_ptr<const void>()> save;
+  std::function<void(const std::shared_ptr<const void>&)> load;
+};
 
 class HostSystem {
  public:
@@ -50,8 +65,14 @@ class HostSystem {
 
   /// Register an externally-owned component (e.g. a NIC model from the net
   /// library): `start` runs when the simulation starts, `reset` on every
-  /// counter reset (with the reset time).
+  /// counter reset (with the reset time). Externals attached through this
+  /// overload have no save/load hooks, so the host is not checkpointable
+  /// (snapshot() throws).
   void attach(std::function<void()> start, std::function<void(Tick)> reset);
+
+  /// Full-hooks overload: components that also provide save/load keep the
+  /// host checkpointable.
+  void attach(ExternalHooks hooks);
 
   /// Run `warmup` of simulated time, reset all counters, then run `measure`.
   void run(Tick warmup, Tick measure);
@@ -87,6 +108,46 @@ class HostSystem {
   std::vector<std::unique_ptr<cpu::Core>>& cores() { return cores_; }
   std::vector<std::unique_ptr<iio::StorageDevice>>& storage() { return storage_; }
 
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  //
+  // A Snapshot captures every stateful component plus the pending-event
+  // queue at a quiesce point (between events -- after run()/run_more()
+  // returns). Component snapshots carry raw pointers into THIS host (event
+  // closures' `this` captures, CreditWaiter*, mem::Request::completer), so
+  // a snapshot restores only into the host that produced it: `owner` is
+  // checked and restore() throws std::logic_error on mismatch. Topology
+  // (cores/stacks/devices added) is construction state and must match by
+  // construction -- asserted, not saved.
+  struct Snapshot {
+    const void* owner = nullptr;  ///< the producing HostSystem
+    sim::Simulator::Snapshot sim;
+    mc::MemoryController::Snapshot mc;
+    cha::Cha::Snapshot cha;
+    std::vector<iio::Iio::Snapshot> iios;
+    std::vector<cpu::Core::Snapshot> cores;
+    std::vector<iio::StorageDevice::Snapshot> storage;
+    std::vector<std::shared_ptr<const void>> externals;
+    bool started = false;
+    Tick measure_start = 0;
+  };
+
+  /// Save the full host state into `out` (recycled Snapshots allocate
+  /// nothing once warm). Throws std::logic_error if an attached external
+  /// has no save hook. Under HOSTNET_CHECKED also audits pool invariants.
+  void save_state(Snapshot& out) const;
+  Snapshot snapshot() const {
+    Snapshot s;
+    save_state(s);
+    return s;
+  }
+
+  /// Restore the state captured by save_state()/snapshot(). Throws
+  /// std::logic_error when `s` was produced by a different HostSystem.
+  /// Under HOSTNET_CHECKED, re-saves the event queue after the restore and
+  /// audits it is identical to the snapshot (restore-then-collect would
+  /// bit-match), then verifies host invariants.
+  void restore(const Snapshot& s);
+
  private:
   void register_iio_pools(std::size_t stack);
 
@@ -99,10 +160,14 @@ class HostSystem {
   std::vector<std::unique_ptr<iio::Iio>> iios_;
   std::vector<std::unique_ptr<cpu::Core>> cores_;
   std::vector<std::unique_ptr<iio::StorageDevice>> storage_;
-  std::vector<std::function<void()>> external_starts_;
-  std::vector<std::function<void(Tick)>> external_resets_;
+  std::vector<ExternalHooks> externals_;
   bool started_ = false;
   Tick measure_start_ = 0;
 };
+
+HOSTNET_SNAPSHOT_COVERS(HostSystem, 231024);
+
+/// Namespace-level alias: the checkpoint most callers pass around.
+using HostSnapshot = HostSystem::Snapshot;
 
 }  // namespace hostnet::core

@@ -4,10 +4,18 @@
 // owns its HostSystem (and therefore its Simulator, RNG streams, and
 // counters), so points can run on separate threads with no shared mutable
 // state and bit-identical results to a serial run. This header provides the
-// minimal engine for that: run N independent jobs on a temporary pool.
+// minimal engine for that: run N independent jobs on a PERSISTENT pool --
+// worker threads are spawned on first use and reused across batches, so a
+// sweep of many small batches pays thread spawn/teardown once, and
+// thread_local state on the workers (the fork engine's SweepCache) survives
+// between batches.
 //
 // Thread-count policy: the HOSTNET_THREADS environment variable overrides;
-// otherwise std::thread::hardware_concurrency() is used.
+// otherwise std::thread::hardware_concurrency() is used. A batch admits at
+// most the requested worker count regardless of pool size, and the calling
+// thread always participates, so the policy is identical to the old
+// spawn-per-call engine. A nested run_parallel from inside a pool job runs
+// serially inline.
 //
 // Caveat: sim::Tracer::set_global installs a process-wide trace sink; do not
 // enable it while running parallel sweeps (see DESIGN.md, threading model).

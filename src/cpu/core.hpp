@@ -27,6 +27,7 @@
 #include "cha/cha.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
+#include "common/snapshot.hpp"
 #include "counters/station.hpp"
 #include "flow/credit_pool.hpp"
 #include "mem/request.hpp"
@@ -98,6 +99,73 @@ class Core final : public mem::Completer, public cha::ChaClient {
     write_pool_.verify();
   }
 
+  /// A request that failed CHA admission, with when it first blocked.
+  struct Blocked {
+    mem::Request req;
+    Tick since;
+  };
+
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  // Config (sim_, cha_, cfg_, wl_, id_) is construction state; everything
+  // the workload mutates is below. Blocked requests carry mem::Request
+  // whose completer points back at this Core: same-host restore only.
+  struct Snapshot {
+    Rng rng{0};
+    flow::CreditPool::Snapshot lfb_pool;
+    flow::CreditPool::Snapshot write_pool;
+    std::uint64_t seq_line = 0;
+    bool think_pending = false;
+    bool paused = false;
+    std::uint32_t episode_outstanding = 0;
+    std::uint32_t episode_reads_to_issue = 0;
+    std::uint32_t episode_writes_to_issue = 0;
+    std::uint32_t episodes_done_in_query = 0;
+    bool in_compute = false;
+    RingBuffer<Blocked> blocked_reads;
+    RingBuffer<Blocked> blocked_writes;
+    std::uint64_t lines_read = 0;
+    std::uint64_t lines_written = 0;
+    std::uint64_t queries = 0;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.rng = rng_;
+    lfb_pool_.save_state(out.lfb_pool);
+    write_pool_.save_state(out.write_pool);
+    out.seq_line = seq_line_;
+    out.think_pending = think_pending_;
+    out.paused = paused_;
+    out.episode_outstanding = episode_outstanding_;
+    out.episode_reads_to_issue = episode_reads_to_issue_;
+    out.episode_writes_to_issue = episode_writes_to_issue_;
+    out.episodes_done_in_query = episodes_done_in_query_;
+    out.in_compute = in_compute_;
+    out.blocked_reads = blocked_reads_;
+    out.blocked_writes = blocked_writes_;
+    out.lines_read = lines_read_;
+    out.lines_written = lines_written_;
+    out.queries = queries_;
+  }
+
+  void load_state(const Snapshot& s) {
+    rng_ = s.rng;
+    lfb_pool_.load_state(s.lfb_pool);
+    write_pool_.load_state(s.write_pool);
+    seq_line_ = s.seq_line;
+    think_pending_ = s.think_pending;
+    paused_ = s.paused;
+    episode_outstanding_ = s.episode_outstanding;
+    episode_reads_to_issue_ = s.episode_reads_to_issue;
+    episode_writes_to_issue_ = s.episode_writes_to_issue;
+    episodes_done_in_query_ = s.episodes_done_in_query;
+    in_compute_ = s.in_compute;
+    blocked_reads_ = s.blocked_reads;
+    blocked_writes_ = s.blocked_writes;
+    lines_read_ = s.lines_read;
+    lines_written_ = s.lines_written;
+    queries_ = s.queries;
+  }
+
  private:
   std::uint32_t lfb_capacity() const;
   bool episodic() const { return wl_.episode_reads + wl_.episode_writes > 0; }
@@ -129,11 +197,7 @@ class Core final : public mem::Completer, public cha::ChaClient {
   std::uint32_t episodes_done_in_query_ = 0;
   bool in_compute_ = false;
 
-  // Requests that failed CHA admission, with when they first blocked.
-  struct Blocked {
-    mem::Request req;
-    Tick since;
-  };
+  // Requests that failed CHA admission (see Blocked above).
   RingBuffer<Blocked> blocked_reads_;
   RingBuffer<Blocked> blocked_writes_;
 
@@ -141,5 +205,7 @@ class Core final : public mem::Completer, public cha::ChaClient {
   std::uint64_t lines_written_ = 0;
   std::uint64_t queries_ = 0;
 };
+
+HOSTNET_SNAPSHOT_COVERS(Core, 11656);
 
 }  // namespace hostnet::cpu

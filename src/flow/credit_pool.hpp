@@ -42,6 +42,7 @@
 
 #include "common/check.hpp"
 #include "common/ring_buffer.hpp"
+#include "common/snapshot.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "counters/station.hpp"
@@ -221,6 +222,44 @@ class CreditPool {
   /// against the in-use count, within capacity.
   void verify() const { ledger_.verify(in_use_, spec_.name); }
 
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  //
+  // Everything mutable is a copyable value except the waiter rings, which
+  // hold raw CreditWaiter* into component-embedded adapters -- valid only
+  // when the snapshot is restored into the host that produced it (enforced
+  // by the owner token in core::HostSnapshot). The spec is construction
+  // state and is not saved. Snapshots are taken at quiesce points (between
+  // events), where no notify() is on the stack.
+  struct Snapshot {
+    std::uint32_t in_use = 0;
+    RingBuffer<CreditWaiter*> waiters;
+    RingBuffer<CreditWaiter*> privileged_waiters;
+    counters::LatencyStation station;
+    TimeWeighted pressure;
+    CreditLedger ledger;
+  };
+
+  void save_state(Snapshot& out) const {
+    assert(!notifying_ && "snapshot must be taken at a quiesce point");
+    out.in_use = in_use_;
+    out.waiters = waiters_;
+    out.privileged_waiters = privileged_waiters_;
+    out.station = station_;
+    out.pressure = pressure_;
+    out.ledger = ledger_;
+  }
+
+  void load_state(const Snapshot& s) {
+    assert(!notifying_ && "restore must happen at a quiesce point");
+    in_use_ = s.in_use;
+    waiters_ = s.waiters;
+    privileged_waiters_ = s.privileged_waiters;
+    station_ = s.station;
+    pressure_ = s.pressure;
+    ledger_ = s.ledger;
+    notifying_ = false;
+  }
+
  private:
   void update_pressure(Tick now) {
     if (spec_.pressure_threshold < 0) return;
@@ -237,5 +276,7 @@ class CreditPool {
   counters::LatencyStation station_;
   TimeWeighted pressure_;  ///< 0/1 while in_use exceeds the threshold
 };
+
+HOSTNET_SNAPSHOT_COVERS(CreditPool, 5656);
 
 }  // namespace hostnet::flow

@@ -19,6 +19,7 @@
 
 #include "cha/cha.hpp"
 #include "common/ring_buffer.hpp"
+#include "common/snapshot.hpp"
 #include "counters/station.hpp"
 #include "flow/credit_pool.hpp"
 #include "mem/request.hpp"
@@ -101,11 +102,46 @@ class Iio final : public mem::Completer, public cha::ChaClient {
     read_pool_.verify();
   }
 
- private:
+  /// A DMA request that failed CHA admission, with when it first blocked.
   struct Blocked {
     mem::Request req;
     Tick since;
   };
+  /// A non-posted PCIe read whose data has not yet returned.
+  struct Pending {
+    Device* dev;
+    std::uint64_t tag;
+  };
+
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  // Config (sim_, cha_, cfg_, id_) is construction state. Blocked requests
+  // and pending reads carry raw pointers into the owning host (completer /
+  // Device*): same-host restore only.
+  struct Snapshot {
+    flow::CreditPool::Snapshot write_pool;
+    flow::CreditPool::Snapshot read_pool;
+    RingBuffer<Blocked> blocked_reads;
+    RingBuffer<Blocked> blocked_writes;
+    std::vector<Pending> pending_reads;
+  };
+
+  void save_state(Snapshot& out) const {
+    write_pool_.save_state(out.write_pool);
+    read_pool_.save_state(out.read_pool);
+    out.blocked_reads = blocked_reads_;
+    out.blocked_writes = blocked_writes_;
+    out.pending_reads = pending_reads_;
+  }
+
+  void load_state(const Snapshot& s) {
+    write_pool_.load_state(s.write_pool);
+    read_pool_.load_state(s.read_pool);
+    blocked_reads_ = s.blocked_reads;
+    blocked_writes_ = s.blocked_writes;
+    pending_reads_ = s.pending_reads;
+  }
+
+ private:
   void submit(mem::Request req);
 
   sim::Simulator& sim_;
@@ -117,11 +153,9 @@ class Iio final : public mem::Completer, public cha::ChaClient {
   flow::CreditPool read_pool_;   ///< P2M-Read credits (IIO read buffer)
   RingBuffer<Blocked> blocked_reads_;
   RingBuffer<Blocked> blocked_writes_;
-  struct Pending {
-    Device* dev;
-    std::uint64_t tag;
-  };
   std::vector<Pending> pending_reads_;  ///< indexed by request tag slot
 };
+
+HOSTNET_SNAPSHOT_COVERS(Iio, 11544);
 
 }  // namespace hostnet::iio

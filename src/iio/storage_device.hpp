@@ -15,6 +15,7 @@
 
 #include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
+#include "common/snapshot.hpp"
 #include "iio/iio.hpp"
 #include "mem/request.hpp"
 #include "sim/simulator.hpp"
@@ -52,7 +53,7 @@ class StorageDevice final : public Device {
     requests_done_ = 0;
   }
 
- private:
+  /// One in-flight storage request (queue-depth slot).
   struct Slot {
     bool ready = false;           ///< device-side latency elapsed, lines flowing
     std::uint64_t next_line = 0;  ///< next region line to DMA
@@ -61,6 +62,45 @@ class StorageDevice final : public Device {
     mem::Op op = mem::Op::kWrite;    ///< this request's memory-side op
   };
 
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  // Config (sim_, iio_, cfg_, t_line_) is construction state.
+  struct Snapshot {
+    Rng rng{0};
+    std::vector<Slot> slots;
+    RingBuffer<std::uint32_t> ready_order;
+    std::uint64_t next_region_line = 0;
+    std::uint64_t interleave_counter = 0;
+    bool link_busy = false;
+    bool waiting_credit = false;
+    std::uint64_t bytes = 0;
+    std::uint64_t requests_done = 0;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.rng = rng_;
+    out.slots = slots_;
+    out.ready_order = ready_order_;
+    out.next_region_line = next_region_line_;
+    out.interleave_counter = interleave_counter_;
+    out.link_busy = link_busy_;
+    out.waiting_credit = waiting_credit_;
+    out.bytes = bytes_;
+    out.requests_done = requests_done_;
+  }
+
+  void load_state(const Snapshot& s) {
+    rng_ = s.rng;
+    slots_ = s.slots;
+    ready_order_ = s.ready_order;
+    next_region_line_ = s.next_region_line;
+    interleave_counter_ = s.interleave_counter;
+    link_busy_ = s.link_busy;
+    waiting_credit_ = s.waiting_credit;
+    bytes_ = s.bytes;
+    requests_done_ = s.requests_done;
+  }
+
+ private:
   void issue_request(std::uint32_t slot);
   void pump();
   void request_done(std::uint32_t slot);
@@ -82,5 +122,7 @@ class StorageDevice final : public Device {
   std::uint64_t bytes_ = 0;
   std::uint64_t requests_done_ = 0;
 };
+
+HOSTNET_SNAPSHOT_COVERS(StorageDevice, 280);
 
 }  // namespace hostnet::iio

@@ -288,4 +288,41 @@ void Channel::kick() {
   schedule_next(now);
 }
 
+void Channel::save_state(Snapshot& out) const {
+  out.rpq = rpq_;
+  out.wpq = wpq_;
+  out.banks = banks_;
+  out.bank_pending = bank_pending_;
+  out.mode = static_cast<std::uint8_t>(mode_);
+  out.prep_dirty = prep_dirty_;
+  out.bus_free_at = bus_free_at_;
+  out.read_dwell_until = read_dwell_until_;
+  out.next_entry_id = next_entry_id_;
+  out.next_kick_at = next_kick_at_;
+  out.kick_inflight = kick_inflight_;
+  out.kick_stats = kick_stats_;
+  rpq_pool_.save_state(out.rpq_pool);
+  wpq_pool_.save_state(out.wpq_pool);
+  out.counters = counters_;
+}
+
+void Channel::load_state(const Snapshot& s) {
+  assert(s.rpq && s.wpq && s.counters && "restoring from a default Snapshot");
+  rpq_ = *s.rpq;
+  wpq_ = *s.wpq;
+  banks_ = s.banks;
+  bank_pending_ = s.bank_pending;
+  mode_ = static_cast<Mode>(s.mode);
+  prep_dirty_ = s.prep_dirty;
+  bus_free_at_ = s.bus_free_at;
+  read_dwell_until_ = s.read_dwell_until;
+  next_entry_id_ = s.next_entry_id;
+  next_kick_at_ = s.next_kick_at;
+  kick_inflight_ = s.kick_inflight;
+  kick_stats_ = s.kick_stats;
+  rpq_pool_.load_state(s.rpq_pool);
+  wpq_pool_.load_state(s.wpq_pool);
+  counters_ = *s.counters;
+}
+
 }  // namespace hostnet::mc

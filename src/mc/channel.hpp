@@ -22,9 +22,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/snapshot.hpp"
 #include "counters/mc_counters.hpp"
 #include "dram/address_map.hpp"
 #include "dram/bank.hpp"
@@ -116,6 +118,34 @@ class Channel {
   /// between bank_pending_ and the prepped sublists (DESIGN.md section 4c).
   void verify_invariants() const;
 
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  // Config (sim_, cfg_, index_, listener_) is construction state. SlotQueue
+  // and McChannelCounters have no default constructor, so the snapshot
+  // holds them via std::optional (copy-assignment into an engaged optional
+  // still reuses the queues' slot arenas). Queue entries carry mem::Request
+  // whose completer points into the owning host: same-host restore only.
+  // `mode` is the Mode enum's underlying value (the enum itself is private).
+  struct Snapshot {
+    std::optional<SlotQueue> rpq;
+    std::optional<SlotQueue> wpq;
+    std::vector<dram::Bank> banks;
+    std::vector<std::int64_t> bank_pending;
+    std::uint8_t mode = 0;
+    bool prep_dirty = true;
+    Tick bus_free_at = 0;
+    Tick read_dwell_until = 0;
+    std::uint64_t next_entry_id = 0;
+    Tick next_kick_at = 0;
+    std::vector<Tick> kick_inflight;
+    KickStats kick_stats;
+    flow::CreditPool::Snapshot rpq_pool;
+    flow::CreditPool::Snapshot wpq_pool;
+    std::optional<counters::McChannelCounters> counters;
+  };
+
+  void save_state(Snapshot& out) const;
+  void load_state(const Snapshot& s);
+
  private:
   enum class Mode : std::uint8_t { kRead, kWrite };
 
@@ -156,5 +186,7 @@ class Channel {
 
   counters::McChannelCounters counters_;
 };
+
+HOSTNET_SNAPSHOT_COVERS(Channel, 11992);
 
 }  // namespace hostnet::mc

@@ -2,9 +2,11 @@
 // address-map routing. The CHA talks to this class.
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "dram/address_map.hpp"
 #include "mc/channel.hpp"
 
@@ -39,9 +41,28 @@ class MemoryController {
     for (auto& c : channels_) c->set_listener(l);
   }
 
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  struct Snapshot {
+    std::vector<Channel::Snapshot> channels;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.channels.resize(channels_.size());
+    for (std::size_t i = 0; i < channels_.size(); ++i)
+      channels_[i]->save_state(out.channels[i]);
+  }
+
+  void load_state(const Snapshot& s) {
+    assert(s.channels.size() == channels_.size() && "channel count is construction state");
+    for (std::size_t i = 0; i < channels_.size(); ++i)
+      channels_[i]->load_state(s.channels[i]);
+  }
+
  private:
   dram::AddressMap map_;
   std::vector<std::unique_ptr<Channel>> channels_;
 };
+
+HOSTNET_SNAPSHOT_COVERS(MemoryController, 72);
 
 }  // namespace hostnet::mc

@@ -163,7 +163,17 @@ TcpReceiver::TcpReceiver(core::HostSystem& host, const DctcpConfig& cfg)
     copy_cores_.push_back(std::move(cc));
   }
 
-  host.attach([this] { start(); }, [this](Tick now) { reset(now); });
+  host.attach(core::ExternalHooks{
+      [this] { start(); },
+      [this](Tick now) { reset(now); },
+      [this]() -> std::shared_ptr<const void> {
+        auto snap = std::make_shared<Snapshot>();
+        save_state(*snap);
+        return snap;
+      },
+      [this](const std::shared_ptr<const void>& blob) {
+        load_state(*static_cast<const Snapshot*>(blob.get()));
+      }});
 }
 
 void TcpReceiver::start() {

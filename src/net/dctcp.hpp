@@ -13,11 +13,13 @@
 //    drops -> DCTCP congestion response at the sender.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "core/experiment.hpp"
 #include "core/host_system.hpp"
 #include "counters/station.hpp"
@@ -82,6 +84,52 @@ class CopyCore final : public mem::Completer, public cha::ChaClient {
     lines_copied_ = 0;
   }
 
+  /// A copy access that failed CHA admission, with when it first blocked.
+  struct Blocked {
+    mem::Request req;
+    Tick since;
+  };
+
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  // Config and the ring_/on_packet_copied_ wiring are construction state.
+  // Blocked requests carry completer pointers into this core: same-host
+  // restore only.
+  struct Snapshot {
+    bool busy = false;
+    std::uint32_t lines_to_issue = 0;
+    std::uint32_t lines_outstanding = 0;
+    std::uint64_t line_cursor = 0;
+    std::deque<Blocked> blocked_reads;
+    std::deque<Blocked> blocked_writes;
+    flow::CreditPool::Snapshot lfb_pool;
+    std::uint64_t packets_copied = 0;
+    std::uint64_t lines_copied = 0;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.busy = busy_;
+    out.lines_to_issue = lines_to_issue_;
+    out.lines_outstanding = lines_outstanding_;
+    out.line_cursor = line_cursor_;
+    out.blocked_reads = blocked_reads_;
+    out.blocked_writes = blocked_writes_;
+    lfb_pool_.save_state(out.lfb_pool);
+    out.packets_copied = packets_copied_;
+    out.lines_copied = lines_copied_;
+  }
+
+  void load_state(const Snapshot& s) {
+    busy_ = s.busy;
+    lines_to_issue_ = s.lines_to_issue;
+    lines_outstanding_ = s.lines_outstanding;
+    line_cursor_ = s.line_cursor;
+    blocked_reads_ = s.blocked_reads;
+    blocked_writes_ = s.blocked_writes;
+    lfb_pool_.load_state(s.lfb_pool);
+    packets_copied_ = s.packets_copied;
+    lines_copied_ = s.lines_copied;
+  }
+
  private:
   void try_start_packet();
   void pump();
@@ -106,10 +154,6 @@ class CopyCore final : public mem::Completer, public cha::ChaClient {
   std::uint32_t lines_outstanding_ = 0;
   std::uint64_t line_cursor_ = 0;
 
-  struct Blocked {
-    mem::Request req;
-    Tick since;
-  };
   std::deque<Blocked> blocked_reads_;
   std::deque<Blocked> blocked_writes_;
 
@@ -138,6 +182,77 @@ class TcpReceiver {
   double copy_lfb_occupancy(Tick now) const;
   const NicDevice& nic() const { return *nic_; }
   std::vector<std::unique_ptr<CopyCore>>& copy_cores() { return copy_cores_; }
+
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  // Registered with HostSystem::attach as external save/load hooks, so
+  // HostSystem::snapshot() carries the receiver's transport state alongside
+  // the host's own.
+  struct Snapshot {
+    NicDevice::Snapshot nic;
+    std::vector<CopyCore::Snapshot> copy_cores;
+    std::deque<Tick> ring;
+    double cwnd = 16;
+    double alpha = 0;
+    std::uint32_t inflight = 0;
+    bool wire_busy = false;
+    std::uint64_t epoch_acks = 0;
+    std::uint64_t epoch_marks = 0;
+    std::uint64_t epoch_drops = 0;
+    Tick window_start = 0;
+    std::uint64_t packets_copied = 0;
+    std::uint64_t packets_offered = 0;
+    std::uint64_t packets_dropped = 0;
+    std::uint64_t packets_marked = 0;
+    std::uint64_t packets_accepted = 0;
+    double cwnd_sum = 0;
+    std::uint64_t cwnd_samples = 0;
+  };
+
+  void save_state(Snapshot& out) const {
+    nic_->save_state(out.nic);
+    out.copy_cores.resize(copy_cores_.size());
+    for (std::size_t i = 0; i < copy_cores_.size(); ++i)
+      copy_cores_[i]->save_state(out.copy_cores[i]);
+    out.ring = ring_;
+    out.cwnd = cwnd_;
+    out.alpha = alpha_;
+    out.inflight = inflight_;
+    out.wire_busy = wire_busy_;
+    out.epoch_acks = epoch_acks_;
+    out.epoch_marks = epoch_marks_;
+    out.epoch_drops = epoch_drops_;
+    out.window_start = window_start_;
+    out.packets_copied = packets_copied_;
+    out.packets_offered = packets_offered_;
+    out.packets_dropped = packets_dropped_;
+    out.packets_marked = packets_marked_;
+    out.packets_accepted = packets_accepted_;
+    out.cwnd_sum = cwnd_sum_;
+    out.cwnd_samples = cwnd_samples_;
+  }
+
+  void load_state(const Snapshot& s) {
+    nic_->load_state(s.nic);
+    assert(s.copy_cores.size() == copy_cores_.size());
+    for (std::size_t i = 0; i < copy_cores_.size(); ++i)
+      copy_cores_[i]->load_state(s.copy_cores[i]);
+    ring_ = s.ring;
+    cwnd_ = s.cwnd;
+    alpha_ = s.alpha;
+    inflight_ = s.inflight;
+    wire_busy_ = s.wire_busy;
+    epoch_acks_ = s.epoch_acks;
+    epoch_marks_ = s.epoch_marks;
+    epoch_drops_ = s.epoch_drops;
+    window_start_ = s.window_start;
+    packets_copied_ = s.packets_copied;
+    packets_offered_ = s.packets_offered;
+    packets_dropped_ = s.packets_dropped;
+    packets_marked_ = s.packets_marked;
+    packets_accepted_ = s.packets_accepted;
+    cwnd_sum_ = s.cwnd_sum;
+    cwnd_samples_ = s.cwnd_samples;
+  }
 
  private:
   void start();
@@ -174,5 +289,8 @@ class TcpReceiver {
   double cwnd_sum_ = 0;
   std::uint64_t cwnd_samples_ = 0;
 };
+
+HOSTNET_SNAPSHOT_COVERS(CopyCore, 6048);
+HOSTNET_SNAPSHOT_COVERS(TcpReceiver, 408);
 
 }  // namespace hostnet::net

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/snapshot.hpp"
 #include "iio/iio.hpp"
 #include "mem/request.hpp"
 #include "sim/simulator.hpp"
@@ -76,6 +77,75 @@ class NicDevice final : public iio::Device {
   bool paused() const { return paused_; }
   double pause_fraction(Tick now) const;
 
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  // Config (sim_, iio_, cfg_, t_*) and the packet_delivered_ wiring are
+  // construction state; everything the traffic mutates is below.
+  struct Snapshot {
+    std::uint64_t buffer_bytes = 0;
+    std::uint64_t dma_line_cursor = 0;
+    std::uint64_t tx_line_cursor = 0;
+    std::uint64_t lines_in_current_packet = 0;
+    bool link_busy = false;
+    bool tx_link_busy = false;
+    bool waiting_write_credit = false;
+    bool waiting_read_credit = false;
+    bool paused = false;
+    bool arrival_scheduled = false;
+    std::uint64_t bytes_accepted = 0;
+    std::uint64_t bytes_dma = 0;
+    std::uint64_t bytes_tx = 0;
+    std::uint64_t packets_accepted = 0;
+    std::uint64_t packets_dropped = 0;
+    std::uint64_t packets_marked = 0;
+    Tick pause_started = 0;
+    Tick paused_time = 0;
+    Tick window_start = 0;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.buffer_bytes = buffer_bytes_;
+    out.dma_line_cursor = dma_line_cursor_;
+    out.tx_line_cursor = tx_line_cursor_;
+    out.lines_in_current_packet = lines_in_current_packet_;
+    out.link_busy = link_busy_;
+    out.tx_link_busy = tx_link_busy_;
+    out.waiting_write_credit = waiting_write_credit_;
+    out.waiting_read_credit = waiting_read_credit_;
+    out.paused = paused_;
+    out.arrival_scheduled = arrival_scheduled_;
+    out.bytes_accepted = bytes_accepted_;
+    out.bytes_dma = bytes_dma_;
+    out.bytes_tx = bytes_tx_;
+    out.packets_accepted = packets_accepted_;
+    out.packets_dropped = packets_dropped_;
+    out.packets_marked = packets_marked_;
+    out.pause_started = pause_started_;
+    out.paused_time = paused_time_;
+    out.window_start = window_start_;
+  }
+
+  void load_state(const Snapshot& s) {
+    buffer_bytes_ = s.buffer_bytes;
+    dma_line_cursor_ = s.dma_line_cursor;
+    tx_line_cursor_ = s.tx_line_cursor;
+    lines_in_current_packet_ = s.lines_in_current_packet;
+    link_busy_ = s.link_busy;
+    tx_link_busy_ = s.tx_link_busy;
+    waiting_write_credit_ = s.waiting_write_credit;
+    waiting_read_credit_ = s.waiting_read_credit;
+    paused_ = s.paused;
+    arrival_scheduled_ = s.arrival_scheduled;
+    bytes_accepted_ = s.bytes_accepted;
+    bytes_dma_ = s.bytes_dma;
+    bytes_tx_ = s.bytes_tx;
+    packets_accepted_ = s.packets_accepted;
+    packets_dropped_ = s.packets_dropped;
+    packets_marked_ = s.packets_marked;
+    pause_started_ = s.pause_started;
+    paused_time_ = s.paused_time;
+    window_start_ = s.window_start;
+  }
+
  private:
   void arrival();
   void schedule_arrival();
@@ -116,5 +186,7 @@ class NicDevice final : public iio::Device {
 
   std::function<void(Tick)> packet_delivered_;
 };
+
+HOSTNET_SNAPSHOT_COVERS(NicDevice, 352);
 
 }  // namespace hostnet::net

@@ -34,7 +34,17 @@ RdmaHost make_rdma_host(const core::HostConfig& hc,
       r.nic_storage = std::make_unique<NicDevice>(r.host->sim(), r.host->iio(), nc);
       r.nic = r.nic_storage.get();
       NicDevice* nic = r.nic;
-      r.host->attach([nic] { nic->start(); }, [nic](Tick now) { nic->reset_counters(now); });
+      r.host->attach(core::ExternalHooks{
+          [nic] { nic->start(); },
+          [nic](Tick now) { nic->reset_counters(now); },
+          [nic]() -> std::shared_ptr<const void> {
+            auto snap = std::make_shared<NicDevice::Snapshot>();
+            nic->save_state(*snap);
+            return snap;
+          },
+          [nic](const std::shared_ptr<const void>& blob) {
+            nic->load_state(*static_cast<const NicDevice::Snapshot*>(blob.get()));
+          }});
     } else {
       // ib_read_bw: the NIC streams server memory out to the wire -- a
       // line-rate sequential DMA reader.

@@ -138,6 +138,73 @@ Tick CalendarQueue::next_tick(Tick bound) {
   }
 }
 
+void CalendarQueue::save_state(Snapshot& out) const {
+  out.win_start = win_start_;
+  out.cursor = cursor_;
+  out.l0.clear();
+  out.l1.clear();
+  out.overflow.clear();
+  // win_start_ is kNumSlots-aligned (advance_to masks it), so slot index i
+  // holds exactly tick win_start_ + i and index order is tick order.
+  assert((win_start_ & kSlotMask) == 0);
+  for (std::size_t i = 0; i < kNumSlots; ++i) {
+    const Slot& s = slots_[i];
+    for (std::size_t j = s.head; j < s.events.size(); ++j) {
+      assert(s.events[j].clonable() && "pending event not checkpointable");
+      out.l0.push_back(Snapshot::Item{win_start_ + Tick(i), s.events[j].clone()});
+    }
+  }
+  for (std::size_t b = 0; b < kNumBuckets; ++b)
+    for (const TimedEvent& te : buckets_[b]) {
+      assert(te.fn.clonable() && "pending event not checkpointable");
+      out.l1.push_back(Snapshot::Item{te.at, te.fn.clone()});
+    }
+  for (const auto& [at, events] : overflow_)
+    for (const Event& e : events) {
+      assert(e.clonable() && "pending event not checkpointable");
+      out.overflow.push_back(Snapshot::Item{at, e.clone()});
+    }
+}
+
+void CalendarQueue::load_state(const Snapshot& s) {
+  for (Slot& slot : slots_) {
+    slot.events.clear();  // keeps capacity -- restore allocates nothing once warm
+    slot.head = 0;
+  }
+  for (auto& b : buckets_) b.clear();
+  slot_bits_ = {};
+  bucket_bits_ = {};
+  overflow_.clear();
+  win_start_ = s.win_start;
+  cursor_ = s.cursor;
+  size_ = s.l0.size() + s.l1.size() + s.overflow.size();
+  for (const Snapshot::Item& it : s.l0) {
+    assert(it.at >= win_start_ && it.at < win_start_ + Tick(kNumSlots));
+    const auto slot = static_cast<std::size_t>(it.at & kSlotMask);
+    slot_bits_[slot / 64] |= std::uint64_t{1} << (slot % 64);
+    slots_[slot].events.push_back(it.ev.clone());
+  }
+  for (const Snapshot::Item& it : s.l1) {
+    const std::size_t b = bucket_index(it.at);
+    bucket_bits_[b / 64] |= std::uint64_t{1} << (b % 64);
+    buckets_[b].push_back(TimedEvent{it.at, it.ev.clone()});
+  }
+  for (const Snapshot::Item& it : s.overflow) overflow_[it.at].push_back(it.ev.clone());
+}
+
+bool CalendarQueue::audit_identical(const Snapshot& a, const Snapshot& b) {
+  if (a.win_start != b.win_start || a.cursor != b.cursor) return false;
+  const auto levels_match = [](const std::vector<Snapshot::Item>& x,
+                               const std::vector<Snapshot::Item>& y) {
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      if (x[i].at != y[i].at || !x[i].ev.audit_identical(y[i].ev)) return false;
+    return true;
+  };
+  return levels_match(a.l0, b.l0) && levels_match(a.l1, b.l1) &&
+         levels_match(a.overflow, b.overflow);
+}
+
 Event CalendarQueue::pop_at(Tick at) {
   assert(at >= win_start_ && at < win_start_ + Tick(kNumSlots));
   Slot& s = slots_[static_cast<std::size_t>(at & kSlotMask)];

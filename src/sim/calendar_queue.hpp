@@ -31,6 +31,7 @@
 #include <map>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/units.hpp"
 #include "sim/event.hpp"
 
@@ -69,6 +70,45 @@ class CalendarQueue {
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
+
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  //
+  // The snapshot captures the queue's *logical* content -- (tick, event)
+  // pairs per level, in firing order -- not its physical layout: L0 slots
+  // are head-normalized (already-popped prefixes are dropped), and
+  // load_state() rebuilds slots, buckets, overflow map and both bitmaps
+  // directly. A push-replay restore would be wrong here: rule (b) above
+  // files a within-horizon push into the overflow map when that map still
+  // holds the tick, so replaying events through push() could re-file a
+  // saved overflow tick into an L1 bucket and break the "one tick's FIFO
+  // never straddles two structures" invariant the next advance relies on.
+  struct Snapshot {
+    struct Item {
+      Tick at = 0;
+      Event ev;
+    };
+    Tick win_start = 0;
+    Tick cursor = 0;
+    std::vector<Item> l0;        ///< current-window events, tick then FIFO order
+    std::vector<Item> l1;        ///< L1 events, bucket-index then insertion order
+    std::vector<Item> overflow;  ///< beyond-horizon events, map then FIFO order
+  };
+
+  /// Copy the full pending-event state into `out` (vectors are reused, so a
+  /// recycled Snapshot allocates nothing once warmed). Every pending event
+  /// must be clonable() -- asserted, since a non-clonable event would be
+  /// silently lost on restore.
+  void save_state(Snapshot& out) const;
+
+  /// Restore the state captured by save_state(). Clears in place (slot and
+  /// bucket vector capacities are retained) and rebuilds the level
+  /// structures and bitmaps directly.
+  void load_state(const Snapshot& s);
+
+  /// Checkpoint-audit equality of two snapshots: identical tick sequences
+  /// per level and Event::audit_identical() closures. Powers the
+  /// HOSTNET_CHECKED restore-then-resave audit in HostSystem::restore().
+  static bool audit_identical(const Snapshot& a, const Snapshot& b);
 
  private:
   struct Slot {
@@ -109,5 +149,7 @@ class CalendarQueue {
   // hostnet-lint: allow(hot-alloc)
   std::map<Tick, std::vector<Event>> overflow_;
 };
+
+HOSTNET_SNAPSHOT_COVERS(CalendarQueue, 230472);
 
 }  // namespace hostnet::sim

@@ -18,6 +18,7 @@
 // applies.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstring>
 #include <new>
@@ -83,6 +84,42 @@ class Event {
   /// Exposed for the allocation-probe benchmarks and tests.
   bool inlined() const noexcept { return ops_ != nullptr && ops_->inline_storage; }
 
+  /// Duplicate the event for checkpointing (calendar-queue save_state).
+  /// Inline events are a raw 64-byte copy -- same cost as a move; heap
+  /// events copy-construct the boxed callable. Only clonable() events may
+  /// be cloned: a move-only heap closure cannot be checkpointed, and the
+  /// snapshot layer rejects it instead of silently dropping it.
+  bool clonable() const noexcept {
+    return ops_ == nullptr || ops_->inline_storage || ops_->clone != nullptr;
+  }
+  Event clone() const {
+    Event c;
+    if (ops_ == nullptr) return c;
+    if (ops_->inline_storage) {
+      std::memcpy(c.storage_, storage_, kInlineBytes);
+    } else {
+      assert(ops_->clone && "cannot snapshot a move-only heap event closure");
+      ops_->clone(c.storage_, storage_);
+    }
+    c.ops_ = ops_;
+    return c;
+  }
+
+  /// Checkpoint-audit equality (HOSTNET_CHECKED restore audits): same ops
+  /// table and, where that is well-defined, identical closure bytes. The
+  /// byte comparison covers exactly audit_bytes: the tail of the inline
+  /// buffer past the closure is never written, and a closure with padding
+  /// holes copies indeterminate source-stack bytes into them (a trivially
+  /// copyable lambda is cloned bytewise), so comparing either would make
+  /// the audit depend on memory-layout history rather than simulation
+  /// state. Heap events and padded closures therefore compare by ops table
+  /// (i.e. closure type) only.
+  bool audit_identical(const Event& o) const noexcept {
+    if (ops_ != o.ops_) return false;
+    if (ops_ == nullptr) return true;
+    return std::memcmp(storage_, o.storage_, ops_->audit_bytes) == 0;
+  }
+
   void reset() noexcept {
     if (ops_) {
       if (ops_->destroy) ops_->destroy(storage_);
@@ -94,7 +131,16 @@ class Event {
   struct Ops {
     void (*invoke)(void* self);
     void (*destroy)(void* self) noexcept;  ///< nullptr when no cleanup is needed
+    /// Copy the stored representation of `src` into `dst` (heap events
+    /// only; inline events clone by memcpy with no indirect call). nullptr
+    /// for move-only heap closures, which cannot be checkpointed.
+    void (*clone)(void* dst, const void* src);
     bool inline_storage;
+    /// Bytes audit_identical() may memcmp: sizeof(D) for inline closures
+    /// whose object representation is unique (no padding holes, so every
+    /// byte is determined by the captured values), 0 otherwise (heap boxes
+    /// and padded closures, whose bytes are not state-determined).
+    std::size_t audit_bytes;
   };
 
   template <typename D>
@@ -127,16 +173,30 @@ class Event {
   }
 
   template <typename D>
+  static const D* as(const void* s) noexcept {
+    return std::launder(reinterpret_cast<const D*>(s));
+  }
+
+  template <typename D>
   struct InlineOps {
     static void invoke(void* s) { (*as<D>(s))(); }
-    static constexpr Ops ops{&invoke, nullptr, true};
+    static constexpr Ops ops{&invoke, nullptr, nullptr, true,
+                             std::has_unique_object_representations_v<D> ? sizeof(D) : 0};
   };
 
   template <typename D>
   struct HeapOps {
     static void invoke(void* s) { (**as<D*>(s))(); }
     static void destroy(void* s) noexcept { delete *as<D*>(s); }
-    static constexpr Ops ops{&invoke, &destroy, false};
+    static void clone(void* dst, const void* src) {
+      if constexpr (std::is_copy_constructible_v<D>) {
+        // Cold path (checkpointing a heap event): the box is copied.
+        // hostnet-lint: allow(hot-alloc)
+        ::new (dst) D*(new D(**as<D*>(src)));
+      }
+    }
+    static constexpr Ops ops{&invoke, &destroy,
+                             std::is_copy_constructible_v<D> ? &clone : nullptr, false, 0};
   };
 
   void move_from(Event& other) noexcept {

@@ -39,10 +39,34 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
   std::size_t pending() const { return queue_.size(); }
 
+  // -- checkpointing (DESIGN.md section 4e) -----------------------------------
+  struct Snapshot {
+    Tick now = 0;
+    std::uint64_t executed = 0;
+    CalendarQueue::Snapshot queue;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.now = now_;
+    out.executed = executed_;
+    queue_.save_state(out.queue);
+  }
+  void load_state(const Snapshot& s) {
+    now_ = s.now;
+    executed_ = s.executed;
+    queue_.load_state(s.queue);
+  }
+  static bool audit_identical(const Snapshot& a, const Snapshot& b) {
+    return a.now == b.now && a.executed == b.executed &&
+           CalendarQueue::audit_identical(a.queue, b.queue);
+  }
+
  private:
   Tick now_ = 0;
   std::uint64_t executed_ = 0;
   CalendarQueue queue_;
 };
+
+HOSTNET_SNAPSHOT_COVERS(Simulator, 230488);
 
 }  // namespace hostnet::sim

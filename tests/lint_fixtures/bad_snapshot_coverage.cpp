@@ -1,0 +1,28 @@
+// Deliberately-bad fixture for the snapshot-coverage check: two classes
+// declare save_state() but the file carries no HOSTNET_SNAPSHOT_COVERS
+// descriptor for either -> two findings.
+#include <cstdint>
+
+namespace fixture {
+
+class Widget {
+ public:
+  struct Snapshot {
+    std::uint64_t count = 0;
+  };
+  void save_state(Snapshot& out) const { out.count = count_; }
+  void load_state(const Snapshot& s) { count_ = s.count; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+struct Gauge {
+  struct Snapshot {
+    double level = 0;
+  };
+  void save_state(Snapshot& out) const { out.level = level; }
+  double level = 0;
+};
+
+}  // namespace fixture

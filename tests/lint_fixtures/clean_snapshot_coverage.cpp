@@ -1,0 +1,63 @@
+// Clean fixture for the snapshot-coverage check: descriptors present,
+// suppressions honored, and the non-declaration spellings of save_state
+// (member calls, out-of-class definitions) do not trigger.
+#include <cstdint>
+
+#define HOSTNET_SNAPSHOT_COVERS(T, N) static_assert(sizeof(T) > 0, #N)
+
+namespace fixture {
+
+class Covered {
+ public:
+  struct Snapshot {
+    std::uint64_t count = 0;
+  };
+  void save_state(Snapshot& out) const { out.count = count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+HOSTNET_SNAPSHOT_COVERS(Covered, 8);
+
+// A justified opt-out: the descriptor is platform-gated elsewhere.
+class Suppressed {
+ public:
+  struct Snapshot {};
+  // hostnet-lint: allow(snapshot-coverage)
+  void save_state(Snapshot&) const {}
+};
+
+// Template parameters named `class` and scoped enums are not class heads.
+template <class T>
+struct Holder {
+  T value{};
+};
+enum class Mode : std::uint8_t { kA, kB };
+
+class Composite {
+ public:
+  struct Snapshot {
+    Covered::Snapshot inner;
+  };
+  void save_state(Snapshot& out) const {
+    inner_.save_state(out.inner);  // member call: not a declaration
+  }
+
+ private:
+  Covered inner_;
+};
+HOSTNET_SNAPSHOT_COVERS(Composite, 8);
+
+class OutOfLine;  // forward declaration: no body, no finding
+
+class OutOfLine {
+ public:
+  struct Snapshot {};
+  void save_state(Snapshot& out) const;
+};
+HOSTNET_SNAPSHOT_COVERS(OutOfLine, 1);
+
+// Out-of-class definition: anchored to the (covered) class, not re-flagged.
+void OutOfLine::save_state(Snapshot&) const {}
+
+}  // namespace fixture

@@ -65,6 +65,11 @@ class BadFixtures(unittest.TestCase):
         self.assert_findings(fixture("src", "cpu", "bad_raw_credit.cpp"),
                              "raw-credit-counter", 3)
 
+    def test_snapshot_coverage(self):
+        # Two classes with save_state(), no descriptors: two findings.
+        self.assert_findings(fixture("bad_snapshot_coverage.cpp"),
+                             "snapshot-coverage", 2)
+
     def test_unknown_allow_id_is_an_error(self):
         res = run_lint(fixture("bad_allow_id.cpp"))
         self.assertEqual(res.returncode, 1, msg=res.stdout + res.stderr)
@@ -83,6 +88,7 @@ class CleanFixtures(unittest.TestCase):
         ("clean_pragma_once.hpp",),
         ("src", "sim", "clean_magic_tick.cpp"),
         ("src", "cpu", "clean_raw_credit.cpp"),
+        ("clean_snapshot_coverage.cpp",),
     ]
 
     def test_clean_fixtures(self):
@@ -111,7 +117,8 @@ class ToolInterface(unittest.TestCase):
         res = run_lint("--list-checks")
         self.assertEqual(res.returncode, 0)
         for check in ("wall-clock", "raw-rand", "unordered-iter", "hot-alloc",
-                      "pragma-once", "magic-tick", "raw-credit-counter"):
+                      "pragma-once", "magic-tick", "raw-credit-counter",
+                      "snapshot-coverage"):
             self.assertIn(check, res.stdout)
 
     def test_list_allows_counts_suppressions(self):

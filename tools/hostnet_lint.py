@@ -42,6 +42,13 @@ Checks (ids are stable; use them in suppressions):
                   Counters that genuinely are not host credit domains (e.g.
                   a TCP sender's wire-side cwnd) get an allow() with a
                   justification.
+  snapshot-coverage
+                  a class that declares save_state() without a matching
+                  HOSTNET_SNAPSHOT_COVERS(Class, size) descriptor in the same
+                  file. The descriptor is the size tripwire that forces
+                  whoever adds a member to extend the Snapshot too
+                  (common/snapshot.hpp); a save_state() without one can
+                  silently fall out of sync with the class it checkpoints.
 
 Suppression: append `// hostnet-lint: allow(<check>[, <check>...])` to the
 offending line, or put it alone on the line above. Suppressions are meant to
@@ -88,6 +95,7 @@ CHECKS = {
     "pragma-once": "header missing #pragma once",
     "magic-tick": "magic tick constant outside common/units.hpp",
     "raw-credit-counter": "ad-hoc credit/occupancy counter outside flow::CreditPool",
+    "snapshot-coverage": "class declares save_state() without a HOSTNET_SNAPSHOT_COVERS descriptor",
 }
 
 WALL_CLOCK_RE = re.compile(
@@ -119,6 +127,15 @@ TICK_LINE_RE = re.compile(r"\bTick\b|\bticks\b|_ps\b")
 RAW_CREDIT_RE = re.compile(
     r"\b(?:std::)?(?:u?int(?:8|16|32|64)_t|size_t|unsigned(?:\s+(?:int|long))?|int|long)"
     r"\s+(\w*(?:in_use|in_?flight|_used)\w*_)\s*(?:=\s*[^;]*)?;"
+)
+# Events for the snapshot-coverage class tracker: braces/semicolons (scope
+# structure), class/struct heads, and save_state mentions that are not
+# member calls (`x.save_state`, `p->save_state`) or out-of-class
+# definitions (`T::save_state` -- the rule anchors on the class body).
+SNAPSHOT_EVENT_RE = re.compile(
+    r"(?P<brace>[{};])"
+    r"|\b(?:class|struct)\s+(?P<cls>[A-Za-z_]\w*)"
+    r"|(?<![.>:\w])(?P<save>save_state)\s*\("
 )
 
 
@@ -168,6 +185,54 @@ def strip_comments_and_strings(text):
             out.append(c)
             i += 1
     return "".join(out)
+
+
+def check_snapshot_coverage(code, report):
+    """Every class declaring save_state() must pair HOSTNET_SNAPSHOT_COVERS.
+
+    A brace-depth scan keeps a stack of enclosing class/struct bodies; at
+    each in-class save_state() declaration the innermost enclosing class
+    (skipping nested `Snapshot` structs) must have a
+    HOSTNET_SNAPSHOT_COVERS(Class, ...) descriptor somewhere in the file.
+    """
+    stack = []  # (class name, brace depth of its body)
+    depth = 0
+    pending = None  # class head seen, body '{' not yet reached
+    reported = set()
+    lineno, pos = 1, 0
+    for m in SNAPSHOT_EVENT_RE.finditer(code):
+        lineno += code.count("\n", pos, m.start())
+        pos = m.start()
+        if m.group("cls"):
+            before = code[:m.start()].rstrip()
+            # Not a class definition head: a template parameter
+            # (`template <class T>`) or a scoped enum (`enum class Mode`).
+            if before.endswith(("<", ",")) or before.endswith("enum"):
+                continue
+            pending = m.group("cls")
+        elif m.group("save"):
+            for name, _ in reversed(stack):
+                if name == "Snapshot":
+                    continue
+                if name not in reported and not re.search(
+                        r"HOSTNET_SNAPSHOT_COVERS\(\s*" + re.escape(name) + r"\b", code):
+                    reported.add(name)
+                    report(lineno, "snapshot-coverage",
+                           f"'{name}' declares save_state() but the file has no "
+                           f"HOSTNET_SNAPSHOT_COVERS({name}, ...) descriptor; add the "
+                           "size tripwire next to the class (common/snapshot.hpp)")
+                break
+        elif m.group("brace") == "{":
+            depth += 1
+            if pending is not None:
+                stack.append((pending, depth))
+                pending = None
+        elif m.group("brace") == "}":
+            if stack and stack[-1][1] == depth:
+                stack.pop()
+            depth -= 1
+        else:  # ';' before any '{': a forward declaration
+            pending = None
 
 
 def rel(path, root):
@@ -251,6 +316,8 @@ def lint_file(path, display_path, collect_allows=None):
         report(1, "pragma-once", "header does not contain #pragma once")
 
     unordered_names = {m.group(1) for m in UNORDERED_DECL_RE.finditer(code)}
+
+    check_snapshot_coverage(code, report)
 
     for lineno, line in enumerate(code_lines, start=1):
         m = WALL_CLOCK_RE.search(line)

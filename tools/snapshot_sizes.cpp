@@ -1,0 +1,43 @@
+// Prints the authoritative sizeof() for every class carrying a
+// HOSTNET_SNAPSHOT_COVERS descriptor, for refreshing the descriptors after
+// an audited Snapshot extension. Build with the probe flag so stale
+// descriptors cannot block the probe itself:
+//
+//   g++ -std=c++20 -O2 -DNDEBUG -DHOSTNET_SNAPSHOT_SIZE_PROBE \
+//       -I src tools/snapshot_sizes.cpp -o /tmp/snapshot_sizes && /tmp/snapshot_sizes
+//
+// (Header-only probe: nothing is linked, only layouts are inspected.)
+#include <cstdio>
+
+#include "cha/cha.hpp"
+#include "core/host_system.hpp"
+#include "cpu/core.hpp"
+#include "flow/credit_pool.hpp"
+#include "iio/iio.hpp"
+#include "iio/storage_device.hpp"
+#include "mc/channel.hpp"
+#include "mc/memory_controller.hpp"
+#include "net/dctcp.hpp"
+#include "net/nic_device.hpp"
+#include "sim/calendar_queue.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace hostnet;
+#define P(T) std::printf("%-28s %zu\n", #T, sizeof(T))
+  P(flow::CreditPool);
+  P(sim::CalendarQueue);
+  P(sim::Simulator);
+  P(cpu::Core);
+  P(cha::Cha);
+  P(iio::Iio);
+  P(iio::StorageDevice);
+  P(mc::Channel);
+  P(mc::MemoryController);
+  P(net::NicDevice);
+  P(net::CopyCore);
+  P(net::TcpReceiver);
+  P(core::HostSystem);
+#undef P
+  return 0;
+}
