@@ -25,6 +25,8 @@
 #include "core/experiment.hpp"
 #include "core/host_system.hpp"
 #include "dram/address_map.hpp"
+#include "fleet/runner.hpp"
+#include "fleet/scenario.hpp"
 #include "mc/channel.hpp"
 #include "sim/simulator.hpp"
 #include "workloads/workloads.hpp"
@@ -369,6 +371,10 @@ void BM_SerialQuadrantSweep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(cores.size()));
   state.counters["checkpoints"] = static_cast<double>(cache.checkpoints());
+  state.counters["checkpoint_hits"] = static_cast<double>(cache.stats().checkpoint_hits);
+  state.counters["checkpoint_misses"] = static_cast<double>(cache.stats().checkpoint_misses);
+  state.counters["outcome_hits"] = static_cast<double>(cache.stats().outcome_hits);
+  state.counters["outcome_misses"] = static_cast<double>(cache.stats().outcome_misses);
 }
 BENCHMARK(BM_SerialQuadrantSweep)->Unit(benchmark::kMillisecond)->UseRealTime();
 
@@ -441,6 +447,51 @@ BENCHMARK(BM_ParallelQuadrantSweep)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ---- fleet-scale sweep -----------------------------------------------------
+
+/// A 1000-host fleet with 10 distinct config fingerprints (ISSUE/ROADMAP
+/// acceptance scenario). With zero measurement jitter every replica of a
+/// fingerprint is a bit-identical simulation, so a full fleet run costs 10
+/// fingerprints x 3 cold windows plus 990 x 3 memoized window lookups: the
+/// per-host marginal cost is a memo lookup, not a warmup. items/s is
+/// hosts/s; the cache counters make the dedup auditable in the JSON output
+/// (30 checkpoint misses, 2970 outcome hits per run, every run).
+std::string fleet_bench_scenario(int templates, int hosts_per_template) {
+  std::string s = "fleet bench\nseed 3\nwarmup_us 20\nmeasure_us 60\n";
+  for (int i = 0; i < templates; ++i) {
+    // Distinct fingerprints via workload x core-count (the CLX preset has 8
+    // cores, so the sweep folds at 5 and switches application).
+    s += "template t" + std::to_string(i) + "\n";
+    s += std::string("  c2m tenant-c ") + (i < 5 ? "c2m_read" : "redis_read") +
+         " cores=" + std::to_string(i % 5 + 1) + "\n";
+    s += "  p2m tenant-p fio_write\nend\n";
+  }
+  for (int i = 0; i < templates; ++i)
+    s += "hosts " + std::to_string(hosts_per_template) + " t" + std::to_string(i) + "\n";
+  return s;
+}
+
+void BM_FleetSweep(benchmark::State& state) {
+  const auto sc = fleet::Scenario::parse(fleet_bench_scenario(10, 100));
+  fleet::RunnerOptions opt;
+  opt.threads = static_cast<unsigned>(state.range(0));
+  std::uint64_t hosts = 0;
+  std::uint64_t cp_misses = 0;
+  std::uint64_t memo_hits = 0;
+  for (auto _ : state) {
+    const fleet::FleetReport r = fleet::run_fleet(sc, opt);
+    hosts += r.hosts;
+    cp_misses += r.cache.checkpoint_misses;
+    memo_hits += r.cache.outcome_hits;
+    benchmark::DoNotOptimize(r.agg.hosts);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hosts));
+  const double iters = static_cast<double>(state.iterations() ? state.iterations() : 1);
+  state.counters["checkpoint_misses_per_run"] = static_cast<double>(cp_misses) / iters;
+  state.counters["outcome_hits_per_run"] = static_cast<double>(memo_hits) / iters;
+}
+BENCHMARK(BM_FleetSweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

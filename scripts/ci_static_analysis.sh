@@ -53,6 +53,9 @@ ctest --test-dir build-checked -LE "perf|golden" -j "${jobs}" --output-on-failur
 # audits the restored event queue event-by-event only in this build mode
 # (label wired in tests/CMakeLists.txt).
 ctest --test-dir build-checked -L checkpoint --output-on-failure
+# Fleet engine determinism (serial-vs-parallel and fork-vs-cold aggregates)
+# under the same live invariants.
+ctest --test-dir build-checked -L fleet --output-on-failure
 
 if [[ ${quick} -eq 1 ]]; then
   step "quick mode: skipping sanitizers + perf gate + goldens"

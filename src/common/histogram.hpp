@@ -30,6 +30,15 @@ class LatencyHistogram {
     total_ = 0;
   }
 
+  /// Fold another histogram into this one (bucket layout is static, so the
+  /// merge is exact bucket-wise addition). The fleet aggregator relies on
+  /// this: per-shard histograms merge into a fleet-wide one without ever
+  /// holding per-host samples.
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+  }
+
   std::uint64_t count() const { return total_; }
 
   /// Quantile in [0,1]; returns a representative (upper-bound) value in ns.

@@ -113,10 +113,20 @@ class SweepCache {
     std::uint64_t checkpoint_misses = 0;  ///< prefixes warmed cold
     std::uint64_t outcome_hits = 0;       ///< fully-memoized reruns
     std::uint64_t outcome_misses = 0;
+
+    /// Fold another cache's counters in (the fleet runner sums its shards'
+    /// caches into one observable fork-reuse figure; fleet/runner.hpp).
+    void add(const Stats& o) {
+      checkpoint_hits += o.checkpoint_hits;
+      checkpoint_misses += o.checkpoint_misses;
+      outcome_hits += o.outcome_hits;
+      outcome_misses += o.outcome_misses;
+    }
   };
   const Stats& stats() const { return stats_; }
 
   std::size_t checkpoints() const { return checkpoints_.size(); }
+  std::size_t outcomes() const { return outcomes_.size(); }
   void clear();
 
  private:

@@ -1,0 +1,14 @@
+// Fixture: src/fleet is a hot-path subsystem (the runner's per-host loop
+// executes inside every shard), so allocating/indirect types must be
+// flagged there exactly like in src/sim.
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+struct ShardJob {
+  std::function<void()> body;  // finding: hot-alloc
+};
+
+std::unordered_map<std::string, int> fingerprint_ids;  // finding: hot-alloc
+
+ShardJob* spawn() { return new ShardJob(); }  // finding: hot-alloc

@@ -1,0 +1,19 @@
+// Fixture: the sanctioned fleet idiom -- flat vectors with linear searches
+// for the small fingerprint/tenant id spaces (tens of entries), no closures
+// and no node-based containers.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+struct Shard {
+  std::vector<std::size_t> hosts;
+};
+
+std::vector<std::string> shard_fingerprints;
+std::vector<Shard> shards;
+
+std::size_t shard_for(const std::string& fp) {
+  std::size_t s = 0;
+  while (s < shard_fingerprints.size() && shard_fingerprints[s] != fp) ++s;
+  return s;
+}

@@ -54,6 +54,11 @@ class BadFixtures(unittest.TestCase):
         # deque, function, map, and a new-expression: four findings.
         self.assert_findings(fixture("src", "sim", "bad_hot_alloc.cpp"), "hot-alloc", 4)
 
+    def test_hot_alloc_covers_fleet(self):
+        # src/fleet joined the hot-path set with the fleet runner: function,
+        # unordered_map, and a new-expression: three findings.
+        self.assert_findings(fixture("src", "fleet", "bad_hot_alloc.cpp"), "hot-alloc", 3)
+
     def test_pragma_once(self):
         self.assert_findings(fixture("bad_pragma_once.hpp"), "pragma-once", 1)
 
@@ -85,6 +90,7 @@ class CleanFixtures(unittest.TestCase):
         ("clean_raw_rand.cpp",),
         ("clean_unordered_iter.cpp",),
         ("src", "sim", "clean_hot_alloc.cpp"),
+        ("src", "fleet", "clean_hot_alloc.cpp"),
         ("clean_pragma_once.hpp",),
         ("src", "sim", "clean_magic_tick.cpp"),
         ("src", "cpu", "clean_raw_credit.cpp"),

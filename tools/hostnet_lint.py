@@ -24,7 +24,9 @@ Checks (ids are stable; use them in suppressions):
   hot-alloc       std::deque / std::function / std::map / std::list /
                   std::unordered_{map,set} / new-expressions inside the
                   hot-path subsystems (src/sim, src/mc, src/cha, src/cpu,
-                  src/iio). Setup-path allocations that are genuinely
+                  src/iio, src/fleet -- the fleet runner's per-host loop
+                  sits inside every shard). Setup-path allocations that are
+                  genuinely
                   one-time (and vector growth, which amortizes out) are
                   fine -- suppress them explicitly with a justification.
   pragma-once     every header must start its include guard with
@@ -78,7 +80,7 @@ SKIP_DIR_NAMES = {"lint_fixtures", "build", ".git"}
 SKIP_DIR_PREFIXES = ("build-",)
 
 # Subsystems with a zero-steady-state-allocation contract (DESIGN.md 4a/4b).
-HOT_PATH_DIRS = ("src/sim", "src/mc", "src/cha", "src/cpu", "src/iio")
+HOT_PATH_DIRS = ("src/sim", "src/mc", "src/cha", "src/cpu", "src/iio", "src/fleet")
 
 # Subsystems whose flow control must go through flow::CreditPool
 # (DESIGN.md 4d). src/flow itself is exempt: the pool's own in_use_ lives
