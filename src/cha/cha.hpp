@@ -231,6 +231,7 @@ class Cha final : public mc::ChannelListener {
   bool has_space(mem::Op op, mem::Source source) const;
 
   sim::Simulator& sim_;
+  // hostnet-audit: skip(cfg_, construction config; immutable after build)
   ChaConfig cfg_;
   mc::MemoryController& mc_;
   std::optional<cache::DdioCache> ddio_;
@@ -248,6 +249,6 @@ class Cha final : public mc::ChannelListener {
   std::uint64_t ddio_hits_ = 0;
 };
 
-HOSTNET_SNAPSHOT_COVERS(Cha, 33560);
+HOSTNET_SNAPSHOT_COVERS(Cha);
 
 }  // namespace hostnet::cha

@@ -151,9 +151,12 @@ class HostSystem {
  private:
   void register_iio_pools(std::size_t stack);
 
+  // hostnet-audit: skip(cfg_, construction config; immutable after build)
   HostConfig cfg_;
+  // hostnet-audit: skip(seed_, construction config; per-run RNG root never mutates)
   std::uint64_t seed_;
   sim::Simulator sim_;
+  // hostnet-audit: skip(registry_, holds pointers to pools saved by their owners; re-registering would dangle)
   flow::DomainRegistry registry_;
   std::unique_ptr<mc::MemoryController> mc_;
   std::unique_ptr<cha::Cha> cha_;
@@ -165,7 +168,7 @@ class HostSystem {
   Tick measure_start_ = 0;
 };
 
-HOSTNET_SNAPSHOT_COVERS(HostSystem, 231024);
+HOSTNET_SNAPSHOT_COVERS(HostSystem);
 
 /// Namespace-level alias: the checkpoint most callers pass around.
 using HostSnapshot = HostSystem::Snapshot;

@@ -179,8 +179,11 @@ class Core final : public mem::Completer, public cha::ChaClient {
 
   sim::Simulator& sim_;
   cha::Cha& cha_;
+  // hostnet-audit: skip(cfg_, construction config; immutable after build)
   CoreConfig cfg_;
+  // hostnet-audit: skip(wl_, workload shape is construction config; episode progress lives in the saved members)
   CoreWorkload wl_;
+  // hostnet-audit: skip(id_, construction identity; fixed at build)
   std::uint16_t id_;
   Rng rng_;
 
@@ -206,6 +209,6 @@ class Core final : public mem::Completer, public cha::ChaClient {
   std::uint64_t queries_ = 0;
 };
 
-HOSTNET_SNAPSHOT_COVERS(Core, 11656);
+HOSTNET_SNAPSHOT_COVERS(Core);
 
 }  // namespace hostnet::cpu

@@ -266,6 +266,7 @@ class CreditPool {
     pressure_.set(now, static_cast<std::int64_t>(in_use_) > spec_.pressure_threshold ? 1 : 0);
   }
 
+  // hostnet-audit: skip(spec_, construction config; the spec table is rebuilt from HostConfig and never mutates)
   CreditPoolSpec spec_{};
   std::uint32_t in_use_ = 0;
   CreditLedger ledger_;  ///< empty shell unless HOSTNET_CHECKED
@@ -277,6 +278,6 @@ class CreditPool {
   TimeWeighted pressure_;  ///< 0/1 while in_use exceeds the threshold
 };
 
-HOSTNET_SNAPSHOT_COVERS(CreditPool, 5656);
+HOSTNET_SNAPSHOT_COVERS(CreditPool);
 
 }  // namespace hostnet::flow

@@ -146,7 +146,9 @@ class Iio final : public mem::Completer, public cha::ChaClient {
 
   sim::Simulator& sim_;
   cha::Cha& cha_;
+  // hostnet-audit: skip(cfg_, construction config; immutable after build)
   IioConfig cfg_;
+  // hostnet-audit: skip(id_, construction identity; fixed at build)
   std::uint16_t id_;
 
   flow::CreditPool write_pool_;  ///< P2M-Write credits (IIO write buffer)
@@ -156,6 +158,6 @@ class Iio final : public mem::Completer, public cha::ChaClient {
   std::vector<Pending> pending_reads_;  ///< indexed by request tag slot
 };
 
-HOSTNET_SNAPSHOT_COVERS(Iio, 11544);
+HOSTNET_SNAPSHOT_COVERS(Iio);
 
 }  // namespace hostnet::iio

@@ -107,7 +107,9 @@ class StorageDevice final : public Device {
 
   sim::Simulator& sim_;
   Iio& iio_;
+  // hostnet-audit: skip(cfg_, construction config; immutable after build)
   StorageConfig cfg_;
+  // hostnet-audit: skip(t_line_, derived from cfg_ bandwidth at construction; never mutates)
   Tick t_line_;
   Rng rng_{0x5707A6EULL};
 
@@ -123,6 +125,6 @@ class StorageDevice final : public Device {
   std::uint64_t requests_done_ = 0;
 };
 
-HOSTNET_SNAPSHOT_COVERS(StorageDevice, 280);
+HOSTNET_SNAPSHOT_COVERS(StorageDevice);
 
 }  // namespace hostnet::iio

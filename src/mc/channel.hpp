@@ -162,8 +162,11 @@ class Channel {
   SlotQueue& active_queue() { return mode_ == Mode::kRead ? rpq_ : wpq_; }
 
   sim::Simulator& sim_;
+  // hostnet-audit: skip(cfg_, construction config; immutable after build)
   ChannelConfig cfg_;
+  // hostnet-audit: skip(index_, construction identity; fixed at build)
   std::uint32_t index_;
+  // hostnet-audit: skip(listener_, observer wiring installed at build; restore targets the same host)
   ChannelListener* listener_;
 
   SlotQueue rpq_;
@@ -187,6 +190,6 @@ class Channel {
   counters::McChannelCounters counters_;
 };
 
-HOSTNET_SNAPSHOT_COVERS(Channel, 11992);
+HOSTNET_SNAPSHOT_COVERS(Channel);
 
 }  // namespace hostnet::mc

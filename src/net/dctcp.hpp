@@ -15,10 +15,10 @@
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "common/snapshot.hpp"
 #include "core/experiment.hpp"
 #include "core/host_system.hpp"
@@ -67,7 +67,10 @@ class CopyCore final : public mem::Completer, public cha::ChaClient {
   /// Called by the receiver when a packet is available; the core pulls via
   /// the shared ring through `pop` when idle.
   void notify_work();
-  void set_ring(std::deque<Tick>* ring, std::function<void()> on_packet_copied) {
+  // One-time wiring from the owning TcpReceiver (std::function is fine
+  // here: installed at construction, invoked -- never created -- per packet).
+  // hostnet-lint: allow(hot-alloc)
+  void set_ring(RingBuffer<Tick>* ring, std::function<void()> on_packet_copied) {
     ring_ = ring;
     on_packet_copied_ = std::move(on_packet_copied);
   }
@@ -99,8 +102,8 @@ class CopyCore final : public mem::Completer, public cha::ChaClient {
     std::uint32_t lines_to_issue = 0;
     std::uint32_t lines_outstanding = 0;
     std::uint64_t line_cursor = 0;
-    std::deque<Blocked> blocked_reads;
-    std::deque<Blocked> blocked_writes;
+    RingBuffer<Blocked> blocked_reads;
+    RingBuffer<Blocked> blocked_writes;
     flow::CreditPool::Snapshot lfb_pool;
     std::uint64_t packets_copied = 0;
     std::uint64_t lines_copied = 0;
@@ -138,15 +141,25 @@ class CopyCore final : public mem::Completer, public cha::ChaClient {
 
   sim::Simulator& sim_;
   cha::Cha& cha_;
+  // hostnet-audit: skip(cfg_, construction config; immutable after build)
   cpu::CoreConfig cfg_;
+  // hostnet-audit: skip(socket_buf_, fixed buffer geometry chosen at construction)
   mem::Region socket_buf_;
+  // hostnet-audit: skip(app_buf_, fixed buffer geometry chosen at construction)
   mem::Region app_buf_;
+  // hostnet-audit: skip(proto_time_, derived from cfg_ at construction; never mutates)
   Tick proto_time_;
+  // hostnet-audit: skip(lines_per_packet_, derived from cfg_ at construction; never mutates)
   std::uint32_t lines_per_packet_;
+  // hostnet-audit: skip(app_in_cache_, construction config; immutable after build)
   bool app_in_cache_;
+  // hostnet-audit: skip(id_, construction identity; fixed at build)
   std::uint16_t id_;
 
-  std::deque<Tick>* ring_ = nullptr;
+  // hostnet-audit: skip(ring_, wiring to the owning TcpReceiver's queue; the owner snapshots the queue itself)
+  RingBuffer<Tick>* ring_ = nullptr;
+  // hostnet-audit: skip(on_packet_copied_, callback wiring installed at build; restore targets the same host)
+  // hostnet-lint: allow(hot-alloc)  -- invoked per packet, assigned once at build
   std::function<void()> on_packet_copied_;
 
   bool busy_ = false;           ///< processing a packet (incl. proto time)
@@ -154,11 +167,12 @@ class CopyCore final : public mem::Completer, public cha::ChaClient {
   std::uint32_t lines_outstanding_ = 0;
   std::uint64_t line_cursor_ = 0;
 
-  std::deque<Blocked> blocked_reads_;
-  std::deque<Blocked> blocked_writes_;
+  RingBuffer<Blocked> blocked_reads_;
+  RingBuffer<Blocked> blocked_writes_;
 
   /// Copy-MLP bound (the core's LFB). A case-study component, not part of
   /// the HostSystem, so it stays off the DomainRegistry.
+  // hostnet-audit: allow(pool-unregistered, case-study component outside the HostSystem; no DomainRegistry exists here)
   flow::CreditPool lfb_pool_;
   std::uint64_t packets_copied_ = 0;
   std::uint64_t lines_copied_ = 0;
@@ -190,7 +204,7 @@ class TcpReceiver {
   struct Snapshot {
     NicDevice::Snapshot nic;
     std::vector<CopyCore::Snapshot> copy_cores;
-    std::deque<Tick> ring;
+    RingBuffer<Tick> ring;
     double cwnd = 16;
     double alpha = 0;
     std::uint32_t inflight = 0;
@@ -263,10 +277,11 @@ class TcpReceiver {
   void rtt_epoch();
 
   core::HostSystem& host_;
+  // hostnet-audit: skip(cfg_, construction config; immutable after build)
   DctcpConfig cfg_;
   std::unique_ptr<NicDevice> nic_;
   std::vector<std::unique_ptr<CopyCore>> copy_cores_;
-  std::deque<Tick> ring_;  ///< arrival time of packets awaiting copy
+  RingBuffer<Tick> ring_;  ///< arrival time of packets awaiting copy
 
   // Sender state.
   double cwnd_ = 16;
@@ -290,7 +305,7 @@ class TcpReceiver {
   std::uint64_t cwnd_samples_ = 0;
 };
 
-HOSTNET_SNAPSHOT_COVERS(CopyCore, 6048);
-HOSTNET_SNAPSHOT_COVERS(TcpReceiver, 408);
+HOSTNET_SNAPSHOT_COVERS(CopyCore);
+HOSTNET_SNAPSHOT_COVERS(TcpReceiver);
 
 }  // namespace hostnet::net

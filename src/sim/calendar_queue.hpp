@@ -139,10 +139,13 @@ class CalendarQueue {
 
   Tick win_start_ = 0;  ///< aligned to kNumSlots
   Tick cursor_ = 0;     ///< lower bound for the earliest pending tick
+  // hostnet-audit: skip(size_, derived event count; rebuilt on restore from the saved slots, buckets and overflow)
   std::size_t size_ = 0;
   std::array<Slot, kNumSlots> slots_;
   std::array<std::vector<TimedEvent>, kNumBuckets> buckets_;
+  // hostnet-audit: skip(slot_bits_, derived occupancy bitmap; rebuilt on restore from the saved slots)
   std::array<std::uint64_t, kNumSlots / 64> slot_bits_{};
+  // hostnet-audit: skip(bucket_bits_, derived occupancy bitmap; rebuilt on restore from the saved buckets)
   std::array<std::uint64_t, kNumBuckets / 64> bucket_bits_{};
   // Beyond-horizon ticks are rare (device latencies, protocol timers) and
   // never on the per-event path, so an exact-tick ordered map is fine here.
@@ -150,6 +153,6 @@ class CalendarQueue {
   std::map<Tick, std::vector<Event>> overflow_;
 };
 
-HOSTNET_SNAPSHOT_COVERS(CalendarQueue, 230472);
+HOSTNET_SNAPSHOT_COVERS(CalendarQueue);
 
 }  // namespace hostnet::sim

@@ -67,6 +67,6 @@ class Simulator {
   CalendarQueue queue_;
 };
 
-HOSTNET_SNAPSHOT_COVERS(Simulator, 230488);
+HOSTNET_SNAPSHOT_COVERS(Simulator);
 
 }  // namespace hostnet::sim

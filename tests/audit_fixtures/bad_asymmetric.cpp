@@ -1,0 +1,33 @@
+// Bad fixture: the Snapshot fields are used asymmetrically -> three
+// snapshot-asymmetry findings:
+//   * `a` is written by save_state() but never read back by load_state()
+//   * `b` is read by load_state() but never written by save_state()
+//   * `c` is dead: neither saved nor restored
+// (Both members are mentioned by both bodies, so no *-missing noise.)
+#include <cstdint>
+
+namespace fixture {
+
+class Skewed {
+ public:
+  struct Snapshot {
+    std::uint64_t a = 0;  // finding: snapshot-asymmetry (write-only)
+    std::uint64_t b = 0;  // finding: snapshot-asymmetry (read-only)
+    std::uint64_t c = 0;  // finding: snapshot-asymmetry (dead)
+  };
+
+  void save_state(Snapshot& out) const {
+    out.a = a_ + b_;
+  }
+
+  void load_state(const Snapshot& s) {
+    a_ = s.b;
+    b_ = s.b;
+  }
+
+ private:
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Bad fixture: suppression hygiene.
+//   * skip(level_) is dead -- the member is saved and restored -> one
+//     snapshot-dead-skip finding
+//   * skip(phantom_) names no data member at all -> one snapshot-skip
+//     finding
+#include <cstdint>
+
+namespace fixture {
+
+class Gauge {
+ public:
+  struct Snapshot {
+    std::uint64_t level = 0;
+  };
+
+  void save_state(Snapshot& out) const { out.level = level_; }
+  void load_state(const Snapshot& s) { level_ = s.level; }
+
+ private:
+  // hostnet-audit: skip(level_, already saved and restored; this skip is dead)
+  std::uint64_t level_ = 0;
+  // hostnet-audit: skip(phantom_, names no member of this class)
+};
+
+}  // namespace fixture

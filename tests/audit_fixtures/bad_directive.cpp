@@ -1,0 +1,24 @@
+// Bad fixture: malformed directives -> two bad-directive findings.
+//   * skip() without the mandatory reason
+//   * allow() naming a check that snapshot findings may never allow
+//     (snapshot coverage is suppressed per-field with skip, never allow)
+#include <cstdint>
+
+namespace fixture {
+
+class Sloppy {
+ public:
+  struct Snapshot {
+    std::uint64_t n = 0;
+  };
+
+  void save_state(Snapshot& out) const { out.n = n_; }
+  void load_state(const Snapshot& s) { n_ = s.n; }
+
+ private:
+  // hostnet-audit: skip(n_)
+  std::uint64_t n_ = 0;
+  // hostnet-audit: allow(snapshot-save-missing, snapshot findings cannot be allowed)
+};
+
+}  // namespace fixture

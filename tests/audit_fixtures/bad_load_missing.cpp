@@ -1,0 +1,26 @@
+// Bad fixture: `dropped_` feeds save_state() but load_state() never touches
+// it -> one snapshot-load-missing finding (restore would keep stale state).
+#include <cstdint>
+
+namespace fixture {
+
+class Counter {
+ public:
+  struct Snapshot {
+    std::uint64_t hits = 0;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.hits = hits_ + dropped_;
+  }
+
+  void load_state(const Snapshot& s) {
+    hits_ = s.hits;
+  }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t dropped_ = 0;  // finding: snapshot-load-missing
+};
+
+}  // namespace fixture

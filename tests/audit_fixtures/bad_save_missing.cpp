@@ -1,0 +1,28 @@
+// Bad fixture: `dropped_` is restored by load_state() but never appears in
+// save_state() -> one snapshot-save-missing finding. (load_state() resets
+// it, so only the save side is out of sync.)
+#include <cstdint>
+
+namespace fixture {
+
+class Counter {
+ public:
+  struct Snapshot {
+    std::uint64_t hits = 0;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.hits = hits_;
+  }
+
+  void load_state(const Snapshot& s) {
+    hits_ = s.hits;
+    dropped_ = 0;
+  }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t dropped_ = 0;  // finding: snapshot-save-missing
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Bad fixture: the allow(pool-unregistered) directive is stale -- the pool
+// it once excused is now registered, so the directive suppresses nothing ->
+// one stale-allow finding.
+#include <cstdint>
+
+namespace fixture {
+
+class Hub {
+ public:
+  flow::CreditPool& pool() { return pool_; }
+
+ private:
+  // hostnet-audit: allow(pool-unregistered, registered below; this allow is stale)
+  flow::CreditPool pool_;
+};
+
+inline void wire(Hub& h, flow::DomainRegistry& registry) {
+  registry.add("fixture.hub.pool", h.pool());
+}
+
+}  // namespace fixture

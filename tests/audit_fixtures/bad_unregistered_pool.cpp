@@ -1,0 +1,24 @@
+// Bad fixture: a by-value flow::CreditPool that never reaches a
+// DomainRegistry add()/add_interior() call anywhere in the scanned set ->
+// one pool-unregistered finding. (Fixture runs scan only this file, so the
+// absence of a registration here is the violation.)
+#include <cstdint>
+
+namespace fixture {
+
+class Port {
+ public:
+  struct Snapshot {
+    flow::CreditPool::Snapshot txq;
+  };
+
+  void save_state(Snapshot& out) const { txq_.save_state(out.txq); }
+  void load_state(const Snapshot& s) { txq_.load_state(s.txq); }
+
+  flow::CreditPool& txq_pool() { return txq_; }
+
+ private:
+  flow::CreditPool txq_;  // finding: pool-unregistered
+};
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// Clean fixture for tools/hostnet_audit.py: every data member is mentioned
+// by both save_state() and load_state() or carries an audited skip, the
+// reference member is exempt automatically, and the by-value CreditPool
+// reaches a DomainRegistry add() call through its accessor.
+//
+// Audit fixtures are parsed, never compiled, so the hostnet types are used
+// by name without includes (the auditor is textual, like the lint).
+#include <cstdint>
+
+namespace fixture {
+
+class Engine {
+ public:
+  struct Snapshot {
+    std::uint64_t cycles = 0;
+    std::uint64_t stalls = 0;
+    flow::CreditPool::Snapshot pool;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.cycles = cycles_;
+    out.stalls = stalls_;
+    pool_.save_state(out.pool);
+  }
+
+  void load_state(const Snapshot& s) {
+    cycles_ = s.cycles;
+    stalls_ = s.stalls;
+    pool_.load_state(s.pool);
+  }
+
+  flow::CreditPool& pool() { return pool_; }
+
+ private:
+  sim::Simulator& sim_;  // reference member: auto-exempt (construction wiring)
+  // hostnet-audit: skip(cfg_, construction config; immutable after build)
+  EngineConfig cfg_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t stalls_ = 0;
+  flow::CreditPool pool_;
+};
+
+inline void wire(Engine& e, flow::DomainRegistry& registry) {
+  registry.add("fixture.engine.pool", e.pool());
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Edge fixture: members gated behind #ifdef HOSTNET_CHECKED. The auditor
+// blanks preprocessor lines but keeps the code between them, so a gated
+// member is always audit-visible -- and its save/load mentions, equally
+// gated, keep it covered. No findings.
+#include <cstdint>
+
+namespace fixture {
+
+class Checked {
+ public:
+  struct Snapshot {
+    std::uint64_t ticks = 0;
+#ifdef HOSTNET_CHECKED
+    std::uint64_t audits = 0;
+#endif
+  };
+
+  void save_state(Snapshot& out) const {
+    out.ticks = ticks_;
+#ifdef HOSTNET_CHECKED
+    out.audits = audits_;
+#endif
+  }
+
+  void load_state(const Snapshot& s) {
+    ticks_ = s.ticks;
+#ifdef HOSTNET_CHECKED
+    audits_ = s.audits;
+#endif
+  }
+
+ private:
+  std::uint64_t ticks_ = 0;
+#ifdef HOSTNET_CHECKED
+  std::uint64_t audits_ = 0;
+#endif
+};
+
+}  // namespace fixture

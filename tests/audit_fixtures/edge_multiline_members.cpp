@@ -1,0 +1,34 @@
+// Edge fixture: member declarations that span multiple source lines (the
+// type on one line, the name on another; a template type broken across
+// lines). Declarations end at `;`, not at newlines, so both members must be
+// found. Everything is covered: no findings.
+#include <cstdint>
+
+namespace fixture {
+
+class Wide {
+ public:
+  struct Snapshot {
+    std::uint64_t issued = 0;
+    std::uint64_t retired = 0;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.issued = issued_;
+    out.retired = retired_;
+  }
+
+  void load_state(const Snapshot& s) {
+    issued_ = s.issued;
+    retired_ = s.retired;
+  }
+
+ private:
+  std::uint64_t
+      issued_ = 0;
+  std::vector<
+      std::pair<std::uint64_t, std::uint64_t>>
+      retired_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// Edge fixture: nested class definitions inside an audited class. The
+// nested type's members belong to the nested scope -- they must not be
+// attributed to the outer class -- and a nested class with its own Snapshot
+// is audited independently. Everything here is covered: no findings.
+#include <cstdint>
+
+namespace fixture {
+
+class Outer {
+ public:
+  class Inner {
+   public:
+    struct Snapshot {
+      std::uint32_t depth = 0;
+    };
+    void save_state(Snapshot& out) const { out.depth = depth_; }
+    void load_state(const Snapshot& s) { depth_ = s.depth; }
+
+   private:
+    std::uint32_t depth_ = 0;
+  };
+
+  /// A nested plain struct (no Snapshot): its fields are not Outer members.
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+  };
+
+  struct Snapshot {
+    Inner::Snapshot inner;
+    std::uint64_t epoch = 0;
+  };
+
+  void save_state(Snapshot& out) const {
+    inner_.save_state(out.inner);
+    out.epoch = epoch_;
+  }
+
+  void load_state(const Snapshot& s) {
+    inner_.load_state(s.inner);
+    epoch_ = s.epoch;
+  }
+
+ private:
+  Inner inner_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace fixture

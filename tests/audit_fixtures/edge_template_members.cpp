@@ -1,0 +1,38 @@
+// Edge fixture: members with comma-carrying template types, a template
+// member function, and constexpr class constants. The member extractor must
+// find `rows_` and `order_` (and only them); the template function and the
+// constants are not state. Everything is covered: no findings.
+#include <cstdint>
+
+namespace fixture {
+
+class Table {
+ public:
+  struct Snapshot {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> rows;
+    RingBuffer<std::uint32_t> order;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.rows = rows_;
+    out.order = order_;
+  }
+
+  void load_state(const Snapshot& s) {
+    rows_ = s.rows;
+    order_ = s.order;
+  }
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const auto& r : rows_) fn(r);
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> rows_;
+  RingBuffer<std::uint32_t> order_;
+  static constexpr std::size_t kWays = 4;      // constexpr: not state
+  static const std::uint64_t kMask = 0xffffu;  // static: not instance state
+};
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture for --stale: the allow() below suppresses nothing -- the code it
+// once excused is gone. A plain lint run accepts the file; `--stale` must
+// report one stale-allow finding at the directive line.
+#include <cstdint>
+
+// hostnet-lint: allow(wall-clock)
+std::uint64_t add_one(std::uint64_t x) { return x + 1; }

@@ -3,7 +3,7 @@
 // (member calls, out-of-class definitions) do not trigger.
 #include <cstdint>
 
-#define HOSTNET_SNAPSHOT_COVERS(T, N) static_assert(sizeof(T) > 0, #N)
+#define HOSTNET_SNAPSHOT_COVERS(T) static_assert(sizeof(T) > 0, #T)
 
 namespace fixture {
 
@@ -17,7 +17,7 @@ class Covered {
  private:
   std::uint64_t count_ = 0;
 };
-HOSTNET_SNAPSHOT_COVERS(Covered, 8);
+HOSTNET_SNAPSHOT_COVERS(Covered);
 
 // A justified opt-out: the descriptor is platform-gated elsewhere.
 class Suppressed {
@@ -46,7 +46,7 @@ class Composite {
  private:
   Covered inner_;
 };
-HOSTNET_SNAPSHOT_COVERS(Composite, 8);
+HOSTNET_SNAPSHOT_COVERS(Composite);
 
 class OutOfLine;  // forward declaration: no body, no finding
 
@@ -55,7 +55,7 @@ class OutOfLine {
   struct Snapshot {};
   void save_state(Snapshot& out) const;
 };
-HOSTNET_SNAPSHOT_COVERS(OutOfLine, 1);
+HOSTNET_SNAPSHOT_COVERS(OutOfLine);
 
 // Out-of-class definition: anchored to the (covered) class, not re-flagged.
 void OutOfLine::save_state(Snapshot&) const {}

@@ -1,0 +1,16 @@
+// Fixture: src/flow joined the hot-path set (CreditPool wait/notify runs
+// once per event), so per-element-allocating containers and new-expressions
+// must be flagged there too.
+#include <deque>
+#include <functional>
+#include <list>
+
+struct Waiter {
+  std::function<void()> wake;  // finding: hot-alloc
+};
+
+std::deque<Waiter> wait_queue;  // finding: hot-alloc
+
+std::list<Waiter> parked;  // finding: hot-alloc
+
+Waiter* make_waiter() { return new Waiter(); }  // finding: hot-alloc

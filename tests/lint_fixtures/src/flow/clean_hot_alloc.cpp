@@ -1,0 +1,15 @@
+// Fixture: src/flow hot-path code may use vectors (growth amortizes out)
+// and RingBuffer; one-time setup wiring is justified behind an allow().
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+struct Waiter {
+  std::uint64_t id;
+};
+
+std::vector<Waiter> arena;
+
+// Installed once when the domain is registered, never per credit.
+// hostnet-lint: allow(hot-alloc)
+std::function<void()> on_exhausted;

@@ -1,0 +1,18 @@
+// Fixture: src/net joined the hot-path set (the NIC DMA/TX pumps and the
+// DCTCP copy loop run per packet), so per-element-allocating containers and
+// new-expressions must be flagged there too.
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+struct Packet {
+  long long arrival;
+};
+
+std::deque<Packet> rx_ring;  // finding: hot-alloc
+
+std::map<long long, Packet> reorder;  // finding: hot-alloc
+
+std::unordered_map<long long, Packet> flows;  // finding: hot-alloc
+
+Packet* alloc_packet() { return new Packet(); }  // finding: hot-alloc

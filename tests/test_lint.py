@@ -59,6 +59,22 @@ class BadFixtures(unittest.TestCase):
         # unordered_map, and a new-expression: three findings.
         self.assert_findings(fixture("src", "fleet", "bad_hot_alloc.cpp"), "hot-alloc", 3)
 
+    def test_hot_alloc_covers_flow(self):
+        # src/flow joined the hot-path set (CreditPool wait/notify): function,
+        # deque, list, and a new-expression: four findings.
+        self.assert_findings(fixture("src", "flow", "bad_hot_alloc.cpp"), "hot-alloc", 4)
+
+    def test_hot_alloc_covers_net(self):
+        # src/net joined the hot-path set (NIC/TCP per-packet pumps): deque,
+        # map, unordered_map, and a new-expression: four findings.
+        self.assert_findings(fixture("src", "net", "bad_hot_alloc.cpp"), "hot-alloc", 4)
+
+    def test_stale_allow(self):
+        # The directive suppresses nothing; only --stale reports it.
+        res = run_lint("--stale", fixture("bad_stale_allow.cpp"))
+        self.assertEqual(res.returncode, 1, msg=res.stdout + res.stderr)
+        self.assertIn("[stale-allow]", res.stdout)
+
     def test_pragma_once(self):
         self.assert_findings(fixture("bad_pragma_once.hpp"), "pragma-once", 1)
 
@@ -91,6 +107,8 @@ class CleanFixtures(unittest.TestCase):
         ("clean_unordered_iter.cpp",),
         ("src", "sim", "clean_hot_alloc.cpp"),
         ("src", "fleet", "clean_hot_alloc.cpp"),
+        ("src", "flow", "clean_hot_alloc.cpp"),
+        ("src", "net", "clean_hot_alloc.cpp"),
         ("clean_pragma_once.hpp",),
         ("src", "sim", "clean_magic_tick.cpp"),
         ("src", "cpu", "clean_raw_credit.cpp"),
@@ -117,6 +135,12 @@ class CleanFixtures(unittest.TestCase):
         res = run_lint(fixture("bad_unordered_iter.cpp"))
         self.assertNotIn("[hot-alloc]", res.stdout)
 
+    def test_live_allows_are_not_stale(self):
+        # A justified allow() that really suppresses a finding stays silent
+        # under --stale.
+        res = run_lint("--stale", fixture("src", "sim", "clean_hot_alloc.cpp"))
+        self.assertEqual(res.returncode, 0, msg=res.stdout + res.stderr)
+
 
 class ToolInterface(unittest.TestCase):
     def test_list_checks(self):
@@ -124,7 +148,7 @@ class ToolInterface(unittest.TestCase):
         self.assertEqual(res.returncode, 0)
         for check in ("wall-clock", "raw-rand", "unordered-iter", "hot-alloc",
                       "pragma-once", "magic-tick", "raw-credit-counter",
-                      "snapshot-coverage"):
+                      "snapshot-coverage", "stale-allow"):
             self.assertIn(check, res.stdout)
 
     def test_list_allows_counts_suppressions(self):
@@ -140,6 +164,11 @@ class ToolInterface(unittest.TestCase):
         # A default tree-wide run must stay clean even though the fixture
         # corpus is full of deliberate violations.
         res = run_lint()
+        self.assertEqual(res.returncode, 0, msg=res.stdout + res.stderr)
+
+    def test_tree_has_no_stale_allows(self):
+        # Every suppression in the real tree must still be earning its keep.
+        res = run_lint("--stale")
         self.assertEqual(res.returncode, 0, msg=res.stdout + res.stderr)
 
 

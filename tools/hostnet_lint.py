@@ -25,7 +25,9 @@ Checks (ids are stable; use them in suppressions):
                   std::unordered_{map,set} / new-expressions inside the
                   hot-path subsystems (src/sim, src/mc, src/cha, src/cpu,
                   src/iio, src/fleet -- the fleet runner's per-host loop
-                  sits inside every shard). Setup-path allocations that are
+                  sits inside every shard -- plus src/flow and src/net:
+                  CreditPool wait/notify and the NIC/TCP per-packet pumps
+                  run once per event). Setup-path allocations that are
                   genuinely
                   one-time (and vector growth, which amortizes out) are
                   fine -- suppress them explicitly with a justification.
@@ -46,11 +48,16 @@ Checks (ids are stable; use them in suppressions):
                   justification.
   snapshot-coverage
                   a class that declares save_state() without a matching
-                  HOSTNET_SNAPSHOT_COVERS(Class, size) descriptor in the same
-                  file. The descriptor is the size tripwire that forces
-                  whoever adds a member to extend the Snapshot too
-                  (common/snapshot.hpp); a save_state() without one can
-                  silently fall out of sync with the class it checkpoints.
+                  HOSTNET_SNAPSHOT_COVERS(Class) descriptor in the same
+                  file. The descriptor asserts the snapshot contract and
+                  opts the class into tools/hostnet_audit.py's field-level
+                  coverage audit (common/snapshot.hpp); a save_state()
+                  without one can silently fall out of sync with the class
+                  it checkpoints.
+  stale-allow     (--stale only) an allow() directive that no longer
+                  suppresses any finding. Dead suppressions rot fast: the
+                  code they excused is gone, but they still mask the next
+                  genuine finding on that line.
 
 Suppression: append `// hostnet-lint: allow(<check>[, <check>...])` to the
 offending line, or put it alone on the line above. Suppressions are meant to
@@ -60,6 +67,7 @@ of them for audit.
 Usage:
     tools/hostnet_lint.py                  # lint src/ bench/ tests/ examples/
     tools/hostnet_lint.py path...          # lint specific files/dirs
+    tools/hostnet_lint.py --stale          # also fail on dead allow() directives
     tools/hostnet_lint.py --list-checks
     tools/hostnet_lint.py --list-allows
 
@@ -76,11 +84,15 @@ CXX_EXTENSIONS = (".hpp", ".h", ".cpp", ".cc", ".cxx")
 DEFAULT_ROOTS = ("src", "bench", "tests", "examples")
 # The lint tool's own test corpus: deliberately-bad snippets that must not
 # fail a tree-wide run (tests/test_lint.py scans them explicitly).
-SKIP_DIR_NAMES = {"lint_fixtures", "build", ".git"}
+SKIP_DIR_NAMES = {"lint_fixtures", "audit_fixtures", "build", ".git"}
 SKIP_DIR_PREFIXES = ("build-",)
 
 # Subsystems with a zero-steady-state-allocation contract (DESIGN.md 4a/4b).
-HOT_PATH_DIRS = ("src/sim", "src/mc", "src/cha", "src/cpu", "src/iio", "src/fleet")
+# src/flow (CreditPool wait/notify rings) and src/net (NIC DMA/TX pumps, the
+# DCTCP copy loop) run on every event and joined the set with the same
+# contract.
+HOT_PATH_DIRS = ("src/sim", "src/mc", "src/cha", "src/cpu", "src/iio", "src/fleet",
+                 "src/flow", "src/net")
 
 # Subsystems whose flow control must go through flow::CreditPool
 # (DESIGN.md 4d). src/flow itself is exempt: the pool's own in_use_ lives
@@ -98,6 +110,7 @@ CHECKS = {
     "magic-tick": "magic tick constant outside common/units.hpp",
     "raw-credit-counter": "ad-hoc credit/occupancy counter outside flow::CreditPool",
     "snapshot-coverage": "class declares save_state() without a HOSTNET_SNAPSHOT_COVERS descriptor",
+    "stale-allow": "allow() directive that suppresses nothing (reported with --stale)",
 }
 
 WALL_CLOCK_RE = re.compile(
@@ -221,8 +234,9 @@ def check_snapshot_coverage(code, report):
                     reported.add(name)
                     report(lineno, "snapshot-coverage",
                            f"'{name}' declares save_state() but the file has no "
-                           f"HOSTNET_SNAPSHOT_COVERS({name}, ...) descriptor; add the "
-                           "size tripwire next to the class (common/snapshot.hpp)")
+                           f"HOSTNET_SNAPSHOT_COVERS({name}) descriptor; add it next "
+                           "to the class (common/snapshot.hpp) so hostnet_audit.py "
+                           "tracks its field coverage")
                 break
         elif m.group("brace") == "{":
             depth += 1
@@ -258,12 +272,18 @@ class Finding:
 
 
 def parse_allows(raw_lines):
-    """line number -> set of check ids allowed on that line.
+    """Parse allow() directives out of a file's raw lines.
+
+    Returns (allows, directives): `allows` maps line number -> set of check
+    ids suppressed on that line; `directives` lists each directive as
+    (directive_line, ids, covered_lines) so --stale can flag the ones that
+    no longer suppress anything.
 
     A directive suppresses findings on its own line; a directive on an
     otherwise comment-only line also covers the next line.
     """
     allows = {}
+    directives = []
     for idx, line in enumerate(raw_lines, start=1):
         m = ALLOW_RE.search(line)
         if not m:
@@ -274,24 +294,26 @@ def parse_allows(raw_lines):
             raise ValueError(
                 f"line {idx}: unknown check id(s) in allow(): {', '.join(sorted(unknown))}"
             )
-        allows.setdefault(idx, set()).update(ids)
+        covered = {idx}
         if line.split("//")[0].strip() == "":  # comment-only line: covers the next
-            allows.setdefault(idx + 1, set()).update(ids)
-    return allows
+            covered.add(idx + 1)
+        for c in covered:
+            allows.setdefault(c, set()).update(ids)
+        directives.append((idx, ids, covered))
+    return allows, directives
 
 
-def lint_file(path, display_path, collect_allows=None):
+def lint_file(path, display_path, collect_allows=None, stale=False):
     with open(path, encoding="utf-8", errors="replace") as f:
         text = f.read()
     raw_lines = text.splitlines()
     try:
-        allows = parse_allows(raw_lines)
+        allows, directives = parse_allows(raw_lines)
     except ValueError as e:
         return [Finding(display_path, 0, "pragma-once", f"bad allow() directive: {e}")]
     if collect_allows is not None:
-        for idx in sorted(allows):
-            if ALLOW_RE.search(raw_lines[idx - 1] if idx <= len(raw_lines) else ""):
-                collect_allows.append((display_path, idx, sorted(allows[idx])))
+        for dline, ids, _covered in directives:
+            collect_allows.append((display_path, dline, sorted(ids)))
     code = strip_comments_and_strings(text)
     code_lines = code.splitlines()
 
@@ -308,9 +330,12 @@ def lint_file(path, display_path, collect_allows=None):
     in_src = display_path.startswith("src/") or "/src/" in display_path
 
     findings = []
+    suppressed = set()  # (line, check) pairs an allow() actually absorbed
 
     def report(lineno, check, message):
-        if check not in allows.get(lineno, set()):
+        if check in allows.get(lineno, set()):
+            suppressed.add((lineno, check))
+        else:
             findings.append(Finding(display_path, lineno, check, message))
 
     # -- pragma-once (raw text: it is a preprocessor directive) ---------------
@@ -364,6 +389,14 @@ def lint_file(path, display_path, collect_allows=None):
                 report(lineno, "magic-tick",
                        f"magic tick constant {m.group(0)}; name it in "
                        "common/units.hpp or derive it via ns()/us()/ms()")
+
+    if stale:
+        for dline, ids, covered in directives:
+            if not any((c, i) in suppressed for c in covered for i in ids):
+                findings.append(Finding(
+                    display_path, dline, "stale-allow",
+                    f"allow({', '.join(sorted(ids))}) suppresses nothing; the "
+                    "finding it excused is gone -- delete the directive"))
     return findings
 
 
@@ -395,6 +428,8 @@ def main(argv=None):
     ap.add_argument("--list-checks", action="store_true", help="print check ids and exit")
     ap.add_argument("--list-allows", action="store_true",
                     help="print every allow() suppression in the scanned tree and exit")
+    ap.add_argument("--stale", action="store_true",
+                    help="also fail on allow() directives that suppress nothing")
     args = ap.parse_args(argv)
 
     if args.list_checks:
@@ -413,7 +448,8 @@ def main(argv=None):
     all_findings = []
     allow_list = [] if args.list_allows else None
     for f in files:
-        all_findings.extend(lint_file(f, rel(f, root), collect_allows=allow_list))
+        all_findings.extend(
+            lint_file(f, rel(f, root), collect_allows=allow_list, stale=args.stale))
 
     if args.list_allows:
         for path, lineno, ids in allow_list:
