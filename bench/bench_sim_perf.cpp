@@ -28,6 +28,7 @@
 #include "fleet/runner.hpp"
 #include "fleet/scenario.hpp"
 #include "mc/channel.hpp"
+#include "net/dctcp.hpp"
 #include "sim/simulator.hpp"
 #include "workloads/workloads.hpp"
 
@@ -336,6 +337,30 @@ void BM_HostSimulation(benchmark::State& state) {
       static_cast<double>(kicks_scheduled ? kicks_scheduled : 1);
 }
 BENCHMARK(BM_HostSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_TcpStackHost(benchmark::State& state) {
+  // Host with a TCP receiver under each pluggable stack (Arg = TcpStackKind).
+  // The pacing (bbr) and delay-window (davis) stacks schedule extra events
+  // per window; this keeps their event-cost delta over dctcp perf-gated.
+  const auto kind = static_cast<core::TcpStackKind>(state.range(0));
+  for (auto _ : state) {
+    const auto hc = core::cascade_lake();
+    core::HostSystem host(hc);
+    for (std::uint32_t i = 0; i < 4; ++i)
+      host.add_core(workloads::c2m_read_write(workloads::c2m_core_region(i)));
+    net::TcpConfig cfg;
+    cfg.stack = kind;
+    net::TcpReceiver rx(host, cfg);
+    host.run(us(50), us(200));
+    benchmark::DoNotOptimize(rx.goodput_gbps(host.sim().now()));
+  }
+  state.SetLabel(core::to_string(kind) + ", 250us simulated per iteration");
+}
+BENCHMARK(BM_TcpStackHost)
+    ->Arg(static_cast<int>(core::TcpStackKind::kDctcp))
+    ->Arg(static_cast<int>(core::TcpStackKind::kBbr))
+    ->Arg(static_cast<int>(core::TcpStackKind::kDavis))
+    ->Unit(benchmark::kMillisecond);
 
 // ---- parallel sweep scaling ------------------------------------------------
 

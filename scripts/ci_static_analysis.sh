@@ -64,6 +64,9 @@ ctest --test-dir build-checked -L checkpoint --output-on-failure
 # Fleet engine determinism (serial-vs-parallel and fork-vs-cold aggregates)
 # under the same live invariants.
 ctest --test-dir build-checked -L fleet --output-on-failure
+# Pluggable TCP stacks: per-stack snapshot round-trips, fork-vs-cold
+# bit-identity and the DCTCP differential vs the pre-refactor formula.
+ctest --test-dir build-checked -L tcp --output-on-failure
 
 if [[ ${quick} -eq 1 ]]; then
   step "quick mode: skipping sanitizers + perf gate + goldens"

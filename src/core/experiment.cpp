@@ -2,11 +2,30 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <type_traits>
 
 #include "core/parallel.hpp"
 
 namespace hostnet::core {
+
+std::string to_string(TcpStackKind kind) {
+  switch (kind) {
+    case TcpStackKind::kDctcp: return "dctcp";
+    case TcpStackKind::kBbr: return "bbr";
+    case TcpStackKind::kDavis: return "davis";
+  }
+  return "?";
+}
+
+namespace {
+// Installed once at static-init time by src/net; read-only afterwards, so
+// parallel sweep workers can share it without synchronization.
+TcpFactory installed_tcp_factory = nullptr;
+}  // namespace
+
+void set_tcp_factory(TcpFactory f) { installed_tcp_factory = f; }
+TcpFactory tcp_factory() { return installed_tcp_factory; }
 
 RunOptions default_run_options() {
   RunOptions o;
@@ -135,15 +154,40 @@ void enc_p2m(std::string& s, const std::optional<P2MSpec>& p2m) {
   if (!p2m) return;
   enc_str(s, p2m->name);
   enc(s, static_cast<std::uint8_t>(p2m->storage.has_value()));
-  if (!p2m->storage) return;
-  const iio::StorageConfig& sc = *p2m->storage;
-  enc(s, static_cast<std::uint8_t>(sc.host_op));
-  enc(s, sc.request_bytes);
-  enc(s, sc.queue_depth);
-  enc(s, sc.link_gb_per_s);
-  enc(s, sc.per_request_latency);
-  enc_region(s, sc.region);
-  enc(s, sc.mixed_fraction);
+  if (p2m->storage) {
+    const iio::StorageConfig& sc = *p2m->storage;
+    enc(s, static_cast<std::uint8_t>(sc.host_op));
+    enc(s, sc.request_bytes);
+    enc(s, sc.queue_depth);
+    enc(s, sc.link_gb_per_s);
+    enc(s, sc.per_request_latency);
+    enc_region(s, sc.region);
+    enc(s, sc.mixed_fraction);
+  }
+  enc(s, static_cast<std::uint8_t>(p2m->tcp.has_value()));
+  if (p2m->tcp) {
+    const TcpSpec& tc = *p2m->tcp;
+    enc(s, static_cast<std::uint8_t>(tc.stack));
+    enc(s, tc.wire_gb_per_s);
+    enc(s, tc.mtu_bytes);
+    enc(s, tc.copy_cores);
+    enc(s, tc.ring_packets);
+    enc(s, tc.base_rtt);
+  }
+}
+
+/// Build the transport requested by `p2m` (nullptr when none). Must run at
+/// the same construction position on the cold and fork paths -- after cores
+/// and storage -- because the receiver attaches ExternalHooks and event
+/// ordering depends on registration order.
+std::unique_ptr<TcpTransport> make_tcp(HostSystem& host, const std::optional<P2MSpec>& p2m) {
+  if (!p2m || !p2m->tcp) return nullptr;
+  TcpFactory f = tcp_factory();
+  if (!f)
+    throw std::logic_error(
+        "P2MSpec requests a TCP transport but no factory is installed; "
+        "link hostnet_net (net::install_tcp_factory)");
+  return f(host, *p2m->tcp);
 }
 
 }  // namespace
@@ -165,6 +209,9 @@ std::string config_fingerprint(const HostConfig& host, const std::optional<C2MSp
 
 struct SweepCache::Entry {
   HostSystem host;
+  /// The warmed host's TCP receiver, when the point places one: its hooks
+  /// capture `this`, so it must live exactly as long as the cached host.
+  std::unique_ptr<TcpTransport> tcp;
   HostSnapshot snap;
   Entry(const HostConfig& hc, std::uint64_t seed) : host(hc, seed) {}
 };
@@ -206,13 +253,15 @@ RunOutcome run_workloads(const HostConfig& hc, const std::optional<C2MSpec>& c2m
     HostSystem host(hc, opt.seed);
     if (c2m) add_c2m(host, *c2m);
     if (p2m && p2m->storage) host.add_storage(*p2m->storage);
+    const std::unique_ptr<TcpTransport> tcp = make_tcp(host, p2m);
     host.run(opt.warmup, opt.measure);
 
     RunOutcome out;
     out.metrics = host.collect();
     if (c2m)
       out.c2m_score = episodic(*c2m) ? out.metrics.queries_per_sec : out.metrics.c2m_app_gbps;
-    if (p2m) out.p2m_score = out.metrics.p2m_dev_gbps;
+    if (p2m)
+      out.p2m_score = tcp ? tcp->goodput_gbps(host.sim().now()) : out.metrics.p2m_dev_gbps;
     return out;
   }
 
@@ -237,10 +286,12 @@ RunOutcome run_workloads(const HostConfig& hc, const std::optional<C2MSpec>& c2m
   } else {
     ++cache->stats_.checkpoint_misses;
     auto entry = std::make_unique<SweepCache::Entry>(hc, opt.seed);
-    // Identical construction order to the cold path (cores, then storage):
-    // component seeds and registry order depend on it.
+    // Identical construction order to the cold path (cores, then storage,
+    // then the TCP receiver): component seeds and registry order depend on
+    // it.
     if (c2m) add_c2m(entry->host, *c2m);
     if (p2m && p2m->storage) entry->host.add_storage(*p2m->storage);
+    entry->tcp = make_tcp(entry->host, p2m);
     // run(warmup, 0) warms and resets counters, leaving the host at the
     // measurement quiesce point: run_until() drains every event at or
     // before the boundary tick, so this plus run_more(measure) replays the
@@ -256,7 +307,8 @@ RunOutcome run_workloads(const HostConfig& hc, const std::optional<C2MSpec>& c2m
   out.metrics = e->host.collect();
   if (c2m)
     out.c2m_score = episodic(*c2m) ? out.metrics.queries_per_sec : out.metrics.c2m_app_gbps;
-  if (p2m) out.p2m_score = out.metrics.p2m_dev_gbps;
+  if (p2m)
+    out.p2m_score = e->tcp ? e->tcp->goodput_gbps(e->host.sim().now()) : out.metrics.p2m_dev_gbps;
   cache->outcomes_.emplace(std::move(okey), out);
   return out;
 }

@@ -32,9 +32,61 @@ struct C2MSpec {
   /// read GB/s otherwise (chosen automatically).
 };
 
+// -- TCP transports (the pluggable-stack seam; implemented in src/net) --------
+//
+// The DCTCP receiver case study grew into a family of congestion-control
+// stacks (net::TcpStack). The experiment harness stays net-agnostic: a
+// P2MSpec may request a TCP transport by spec, and the concrete receiver is
+// built through a factory that src/net installs (core cannot link net).
+
+/// Which congestion-control stack drives the TCP sender model.
+enum class TcpStackKind : std::uint8_t {
+  kDctcp = 0,  ///< ECN-fraction response (the paper's baseline, Fig 19)
+  kBbr = 1,    ///< bandwidth-probing with a pacing gate (BBR-like)
+  kDavis = 2,  ///< delay-based, backs off on measured RTT inflation
+};
+
+std::string to_string(TcpStackKind kind);
+
+/// The construction-shaping knobs of a TCP receiver placement. Every field
+/// is covered by config_fingerprint(), so SweepCache forking and fleet
+/// sharding distinguish stacks (and stack configs) structurally; per-stack
+/// CC constants beyond these stay fixed inside src/net.
+struct TcpSpec {
+  std::string name = "tcp";
+  TcpStackKind stack = TcpStackKind::kDctcp;
+  double wire_gb_per_s = 12.25;    ///< 100 Gbps link, effective
+  std::uint32_t mtu_bytes = 9216;  ///< jumbo frames
+  std::uint32_t copy_cores = 4;    ///< kernel copy cores at the receiver
+  std::uint32_t ring_packets = 192;///< socket buffer / receive window
+  Tick base_rtt = us(40);
+};
+
+/// What the harness needs from a running TCP receiver: the measurement
+/// surface that scores a TCP-backed P2M placement. Implemented by
+/// net::TcpReceiver; owned by the caller of the factory (the receiver
+/// registers its simulation hooks with the HostSystem itself).
+class TcpTransport {
+ public:
+  virtual ~TcpTransport() = default;
+  virtual double goodput_gbps(Tick now) const = 0;  ///< copied payload GB/s
+  virtual double loss_rate() const = 0;             ///< dropped / offered
+  virtual double avg_cwnd() const = 0;              ///< epoch-sampled mean cwnd
+};
+
+/// Factory building a concrete transport onto `host` per `spec`. Installed
+/// once at startup by src/net (net::install_tcp_factory); run_workloads
+/// throws std::logic_error on a TCP spec when no factory is present.
+using TcpFactory = std::unique_ptr<TcpTransport> (*)(HostSystem& host, const TcpSpec& spec);
+void set_tcp_factory(TcpFactory f);
+TcpFactory tcp_factory();
+
 struct P2MSpec {
   std::string name = "p2m";
   std::optional<iio::StorageConfig> storage{};
+  /// TCP receiver placement (DMA writes through the IIO, like storage
+  /// writes, plus kernel-copy C2M traffic). Scored by transport goodput.
+  std::optional<TcpSpec> tcp{};
 };
 
 struct RunOptions {

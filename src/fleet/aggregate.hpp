@@ -73,8 +73,11 @@ struct FleetAggregate {
       t.colo_score_sum += o.colo.p2m_score;
       t.iso_score_sum += o.iso_p2m.p2m_score;
       t.degradation_sum += o.p2m_degradation();
+      // TCP receivers are DMA-write tenants (the NIC writes packets toward
+      // memory), as are fio_write-style storage placements.
       const bool dma_writes =
-          tmpl.p2m && tmpl.p2m->storage && tmpl.p2m->storage->host_op == mem::Op::kWrite;
+          tmpl.p2m && (tmpl.p2m->tcp || (tmpl.p2m->storage &&
+                                         tmpl.p2m->storage->host_op == mem::Op::kWrite));
       t.latency.add(dma_writes ? o.colo.metrics.p2m_write.latency_ns
                                : o.colo.metrics.p2m_read.latency_ns);
     }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "net/tcp_stack.hpp"
 #include "workloads/workloads.hpp"
 
 namespace hostnet::fleet {
@@ -104,8 +105,9 @@ iio::StorageConfig p2m_workload(std::size_t line, const core::HostConfig& host,
   if (wl == "fio_write") return workloads::fio_p2m_write(host, workloads::p2m_region());
   if (wl == "fio_read") return workloads::fio_p2m_read(host, workloads::p2m_region());
   if (wl == "fio_4k_qd1") return workloads::fio_4k_qd1(host, workloads::p2m_region());
-  throw ScenarioError(line,
-                      "unknown p2m workload '" + wl + "' (want fio_write, fio_read or fio_4k_qd1)");
+  throw ScenarioError(line, "unknown p2m workload '" + wl +
+                                "' (want fio_write, fio_read, fio_4k_qd1, "
+                                "tcp_dctcp, tcp_bbr or tcp_davis)");
 }
 
 }  // namespace
@@ -174,6 +176,7 @@ class ScenarioParser {
       tmpl_.seed = sc_.seed_;
       c2m_workload_.clear();
       p2m_workload_.clear();
+      tcp_stack_override_.clear();
     } else if (kw == "hosts") {
       expect_args(line, t, 2, "hosts <count> <template>");
       HostGroup g;
@@ -199,7 +202,14 @@ class ScenarioParser {
       tmpl_.preset = t[1];
     } else if (kw == "set") {
       expect_args(line, t, 2, "set <key> <value>");
-      apply_set(line, tmpl_.host, t[1], t[2]);
+      if (t[1] == "tcp.stack") {
+        // Transport knob, not a HostConfig field; resolved at 'end' against
+        // the template's tcp_* p2m placement.
+        tcp_stack_override_ = t[2];
+        tcp_stack_line_ = line;
+      } else {
+        apply_set(line, tmpl_.host, t[1], t[2]);
+      }
     } else if (kw == "seed") {
       expect_args(line, t, 1, "seed <u64>");
       tmpl_.seed = parse_u64(line, t[1], "seed");
@@ -236,8 +246,28 @@ class ScenarioParser {
     if (!p2m_workload_.empty()) {
       core::P2MSpec spec;
       spec.name = p2m_workload_;
-      spec.storage = p2m_workload(p2m_line_, tmpl_.host, p2m_workload_);
+      if (std::optional<core::TcpSpec> tcp = net::tcp_p2m_workload(p2m_workload_)) {
+        if (!tcp_stack_override_.empty()) {
+          const std::optional<core::TcpStackKind> kind =
+              net::tcp_stack_kind(tcp_stack_override_);
+          if (!kind)
+            throw ScenarioError(tcp_stack_line_, "unknown tcp.stack '" + tcp_stack_override_ +
+                                                     "' (want dctcp, bbr or davis)");
+          tcp->stack = *kind;
+          tcp->name = "tcp_" + core::to_string(*kind);
+          spec.name = tcp->name;
+        }
+        spec.tcp = std::move(tcp);
+      } else {
+        if (!tcp_stack_override_.empty())
+          throw ScenarioError(tcp_stack_line_,
+                              "'set tcp.stack' needs a tcp_* p2m placement in this template");
+        spec.storage = p2m_workload(p2m_line_, tmpl_.host, p2m_workload_);
+      }
       tmpl_.p2m = spec;
+    } else if (!tcp_stack_override_.empty()) {
+      throw ScenarioError(tcp_stack_line_,
+                          "'set tcp.stack' needs a tcp_* p2m placement in this template");
     }
     if (!tmpl_.c2m && !tmpl_.p2m)
       throw ScenarioError(line, "template '" + tmpl_.name + "' places no workload (add c2m/p2m)");
@@ -285,6 +315,8 @@ class ScenarioParser {
   HostTemplate tmpl_;
   std::string c2m_workload_;
   std::string p2m_workload_;
+  std::string tcp_stack_override_;
+  std::size_t tcp_stack_line_ = 0;
 };
 
 Scenario Scenario::parse(std::string_view text) { return ScenarioParser(text).run(); }

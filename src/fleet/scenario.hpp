@@ -16,6 +16,7 @@
 //   template <name>                   # a host configuration to replicate
 //     preset cascade-lake|ice-lake    # Table-1 testbed base (default CLX)
 //     set <key> <value>               # HostConfig override (see kSetKeys)
+//     set tcp.stack dctcp|bbr|davis   # CC stack for a tcp_* p2m placement
 //     seed <u64>                      # per-template seed override
 //     c2m <tenant> <workload> [cores=<n>]   # compute tenant placement
 //     p2m <tenant> <workload>               # peripheral tenant placement
@@ -25,9 +26,12 @@
 //
 // C2M workloads: c2m_read, c2m_read_write, redis_read, redis_write,
 // gapbs_pr, gapbs_bc. P2M workloads: fio_write, fio_read, fio_4k_qd1
-// (workloads/workloads.hpp; fio link rates follow the template's PCIe
-// config, so `set pcie_write_gb_per_s ...` lines must precede nothing --
-// specs are built when the template's `end` is reached).
+// (storage DMA; workloads/workloads.hpp) or tcp_dctcp, tcp_bbr, tcp_davis
+// (a full net::TcpReceiver behind the named congestion-control stack;
+// net/tcp_stack.hpp). `set tcp.stack` rewrites a tcp_* placement's stack --
+// handy for templates that differ only in CC -- and is an error without
+// one. fio link rates follow the template's PCIe config, so specs are
+// built when the template's `end` is reached.
 //
 // Replicas of a template are bit-identical simulations (same seed by
 // design: that is what lets the runner memoize them; see runner.hpp).

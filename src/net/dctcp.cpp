@@ -138,8 +138,8 @@ void CopyCore::complete(const mem::Request& req, Tick now) {
 // TcpReceiver
 // ---------------------------------------------------------------------------
 
-TcpReceiver::TcpReceiver(core::HostSystem& host, const DctcpConfig& cfg)
-    : host_(host), cfg_(cfg), cwnd_(cfg.initial_cwnd) {
+TcpReceiver::TcpReceiver(core::HostSystem& host, const TcpConfig& cfg)
+    : host_(host), cfg_(cfg), stack_(make_tcp_stack(cfg)) {
   NicConfig nc = cfg_.nic;
   nc.autonomous = false;
   nc.pfc = false;
@@ -187,32 +187,49 @@ void TcpReceiver::reset(Tick now) {
   window_start_ = now;
   packets_copied_ = packets_offered_ = packets_dropped_ = 0;
   packets_marked_ = packets_accepted_ = 0;
-  cwnd_sum_ = 0;
-  cwnd_samples_ = 0;
+  telemetry_.reset_window();
 }
 
 void TcpReceiver::sender_pump() {
   if (wire_busy_) return;
   const double rwnd = static_cast<double>(cfg_.ring_packets) -
                       static_cast<double>(ring_.size());
-  const double window = std::min(cwnd_, std::max(rwnd, 0.0));
+  const double window = std::min(stack_->cwnd(), std::max(rwnd, 0.0));
   if (static_cast<double>(inflight_) >= window) return;
+
+  const Tick now = host_.sim().now();
+  // Pacing gate (BBR-style stacks). DCTCP's gate is constant 0, so its
+  // event stream -- and the fig goldens -- are untouched by this branch.
+  const Tick pace = stack_->pacing_gate(now);
+  if (pace > 0) {
+    if (!pacing_wait_) {
+      pacing_wait_ = true;
+      host_.sim().schedule(pace, [this] {
+        pacing_wait_ = false;
+        sender_pump();
+      });
+    }
+    return;
+  }
 
   ++inflight_;
   ++packets_offered_;
   wire_busy_ = true;
+  stack_->on_send(now);
   const Tick t_packet = serialization_ticks(cfg_.mtu_bytes, cfg_.wire_gb_per_s);
   host_.sim().schedule(t_packet, [this] {
     wire_busy_ = false;
     sender_pump();
   });
   // One-way latency to the receiver NIC.
-  host_.sim().schedule(t_packet + cfg_.base_rtt / 2, [this] {
+  const Tick sent = now;
+  host_.sim().schedule(t_packet + cfg_.base_rtt / 2, [this, sent] {
     bool marked = false;
     const bool accepted = nic_->offer_packet(&marked);
     if (!accepted) {
       ++packets_dropped_;
-      ++epoch_drops_;
+      ++telemetry_.epoch_drops;
+      stack_->on_drop(host_.sim().now());
       // Loss detected a round-trip later (fast retransmit).
       host_.sim().schedule(cfg_.base_rtt, [this] {
         assert(inflight_ > 0);
@@ -224,21 +241,39 @@ void TcpReceiver::sender_pump() {
     ++packets_accepted_;
     if (marked) {
       ++packets_marked_;
-      ++epoch_marks_;
+      ++telemetry_.epoch_marks;
     }
-    // ACK returns after the remaining half RTT.
-    host_.sim().schedule(cfg_.base_rtt / 2, [this] {
-      ++epoch_acks_;
-      assert(inflight_ > 0);
-      --inflight_;
-      sender_pump();
-    });
+    if (stack_->ack_on_delivery()) {
+      // ACK released at DMA completion (on_packet_delivered), so the
+      // measured RTT carries the host-side backlog.
+      pending_acks_.push_back(sent);
+    } else {
+      // ACK returns after the remaining half RTT.
+      host_.sim().schedule(cfg_.base_rtt / 2, [this, sent] { on_ack(sent); });
+    }
   });
+}
+
+void TcpReceiver::on_ack(Tick sent) {
+  const Tick now = host_.sim().now();
+  ++telemetry_.epoch_acks;
+  telemetry_.note_rtt(now - sent);
+  stack_->on_ack(now - sent, now);
+  assert(inflight_ > 0);
+  --inflight_;
+  sender_pump();
 }
 
 void TcpReceiver::on_packet_delivered(Tick now) {
   ring_.push_back(now);
   for (auto& c : copy_cores_) c->notify_work();
+  if (!pending_acks_.empty()) {
+    // Deliveries happen in accept order, so the oldest pending send is the
+    // one this DMA completion belongs to. Empty unless ack_on_delivery().
+    const Tick sent = pending_acks_.front();
+    pending_acks_.pop_front();
+    host_.sim().schedule(cfg_.base_rtt / 2, [this, sent] { on_ack(sent); });
+  }
 }
 
 void TcpReceiver::on_packet_copied() {
@@ -247,21 +282,10 @@ void TcpReceiver::on_packet_copied() {
 }
 
 void TcpReceiver::rtt_epoch() {
-  if (epoch_drops_ > 0) {
-    cwnd_ = std::max(2.0, cwnd_ / 2.0);
-  } else if (epoch_acks_ > 0) {
-    const double frac =
-        static_cast<double>(epoch_marks_) / static_cast<double>(epoch_acks_);
-    alpha_ = (1.0 - cfg_.dctcp_g) * alpha_ + cfg_.dctcp_g * frac;
-    if (frac > 0)
-      cwnd_ = std::max(2.0, cwnd_ * (1.0 - alpha_ / 2.0));
-    else
-      cwnd_ += 1.0;
-  }
-  cwnd_ = std::min(cwnd_, 2048.0);
-  cwnd_sum_ += cwnd_;
-  ++cwnd_samples_;
-  epoch_acks_ = epoch_marks_ = epoch_drops_ = 0;
+  stack_->on_epoch(telemetry_, host_.sim().now());
+  telemetry_.cwnd_sum += stack_->cwnd();
+  ++telemetry_.cwnd_samples;
+  telemetry_.clear_epoch();
   host_.sim().schedule(cfg_.base_rtt, [this] { rtt_epoch(); });
 }
 
@@ -288,7 +312,7 @@ double TcpReceiver::mark_fraction() const {
 }
 
 double TcpReceiver::avg_cwnd() const {
-  return cwnd_samples_ > 0 ? cwnd_sum_ / static_cast<double>(cwnd_samples_) : cwnd_;
+  return telemetry_.avg_cwnd(stack_->cwnd());
 }
 
 double TcpReceiver::copy_lfb_latency_ns() const {

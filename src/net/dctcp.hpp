@@ -25,10 +25,13 @@
 #include "counters/station.hpp"
 #include "flow/credit_pool.hpp"
 #include "net/nic_device.hpp"
+#include "net/tcp_stack.hpp"
 
 namespace hostnet::net {
 
-struct DctcpConfig {
+struct TcpConfig {
+  /// Which congestion-control stack drives the sender (net/tcp_stack.hpp).
+  core::TcpStackKind stack = core::TcpStackKind::kDctcp;
   double wire_gb_per_s = 12.25;       ///< 100 Gbps link, effective
   std::uint32_t mtu_bytes = 9216;     ///< jumbo frames (144 cachelines)
   std::uint32_t copy_cores = 4;       ///< iperf receiver cores
@@ -54,6 +57,10 @@ struct DctcpConfig {
     return n;
   }();
 };
+
+/// Historical name from the DCTCP-only days; the config now selects any
+/// stack and DctcpConfig{} still means "the paper's DCTCP receiver".
+using DctcpConfig = TcpConfig;
 
 /// One kernel copy core: pops packets from the RX ring and copies them.
 /// Per cacheline: socket-buffer read, then app-buffer RFO + write-back;
@@ -178,23 +185,27 @@ class CopyCore final : public mem::Completer, public cha::ChaClient {
   std::uint64_t lines_copied_ = 0;
 };
 
-/// The full receiver: NIC (lossy, ECN) + RX ring + copy cores + a DCTCP
-/// sender model with receive-window flow control.
-class TcpReceiver {
+/// The stack-agnostic transport engine: NIC (lossy, ECN) + RX ring + copy
+/// cores + a sender model with receive-window flow control. Congestion
+/// control lives behind the TcpStack the config selects; the engine owns
+/// the event sites (send, accept/drop, ACK, epoch) and feeds them through
+/// TransportTelemetry.
+class TcpReceiver final : public core::TcpTransport {
  public:
-  TcpReceiver(core::HostSystem& host, const DctcpConfig& cfg);
+  TcpReceiver(core::HostSystem& host, const TcpConfig& cfg);
 
   // -- measurement ------------------------------------------------------------
   /// Application goodput: copied payload bytes over the window (GB/s).
-  double goodput_gbps(Tick now) const;
+  double goodput_gbps(Tick now) const override;
   /// P2M throughput: bytes the NIC DMA-wrote toward memory (GB/s).
   double p2m_gbps(Tick now) const;
-  double loss_rate() const;        ///< dropped / offered packets
-  double mark_fraction() const;    ///< ECN-marked / accepted packets
-  double avg_cwnd() const;
+  double loss_rate() const override;  ///< dropped / offered packets
+  double mark_fraction() const;       ///< ECN-marked / accepted packets
+  double avg_cwnd() const override;
   double copy_lfb_latency_ns() const;
   double copy_lfb_occupancy(Tick now) const;
   const NicDevice& nic() const { return *nic_; }
+  const TcpStack& stack() const { return *stack_; }
   std::vector<std::unique_ptr<CopyCore>>& copy_cores() { return copy_cores_; }
 
   // -- checkpointing (DESIGN.md section 4e) -----------------------------------
@@ -205,21 +216,18 @@ class TcpReceiver {
     NicDevice::Snapshot nic;
     std::vector<CopyCore::Snapshot> copy_cores;
     RingBuffer<Tick> ring;
-    double cwnd = 16;
-    double alpha = 0;
+    std::shared_ptr<const void> stack;  ///< the stack's own POD Snapshot
+    TransportTelemetry telemetry;
     std::uint32_t inflight = 0;
     bool wire_busy = false;
-    std::uint64_t epoch_acks = 0;
-    std::uint64_t epoch_marks = 0;
-    std::uint64_t epoch_drops = 0;
+    bool pacing_wait = false;
+    RingBuffer<Tick> pending_acks;
     Tick window_start = 0;
     std::uint64_t packets_copied = 0;
     std::uint64_t packets_offered = 0;
     std::uint64_t packets_dropped = 0;
     std::uint64_t packets_marked = 0;
     std::uint64_t packets_accepted = 0;
-    double cwnd_sum = 0;
-    std::uint64_t cwnd_samples = 0;
   };
 
   void save_state(Snapshot& out) const {
@@ -228,21 +236,18 @@ class TcpReceiver {
     for (std::size_t i = 0; i < copy_cores_.size(); ++i)
       copy_cores_[i]->save_state(out.copy_cores[i]);
     out.ring = ring_;
-    out.cwnd = cwnd_;
-    out.alpha = alpha_;
+    out.stack = stack_->save_blob();
+    out.telemetry = telemetry_;
     out.inflight = inflight_;
     out.wire_busy = wire_busy_;
-    out.epoch_acks = epoch_acks_;
-    out.epoch_marks = epoch_marks_;
-    out.epoch_drops = epoch_drops_;
+    out.pacing_wait = pacing_wait_;
+    out.pending_acks = pending_acks_;
     out.window_start = window_start_;
     out.packets_copied = packets_copied_;
     out.packets_offered = packets_offered_;
     out.packets_dropped = packets_dropped_;
     out.packets_marked = packets_marked_;
     out.packets_accepted = packets_accepted_;
-    out.cwnd_sum = cwnd_sum_;
-    out.cwnd_samples = cwnd_samples_;
   }
 
   void load_state(const Snapshot& s) {
@@ -251,48 +256,50 @@ class TcpReceiver {
     for (std::size_t i = 0; i < copy_cores_.size(); ++i)
       copy_cores_[i]->load_state(s.copy_cores[i]);
     ring_ = s.ring;
-    cwnd_ = s.cwnd;
-    alpha_ = s.alpha;
+    stack_->load_blob(s.stack.get());
+    telemetry_ = s.telemetry;
     inflight_ = s.inflight;
     wire_busy_ = s.wire_busy;
-    epoch_acks_ = s.epoch_acks;
-    epoch_marks_ = s.epoch_marks;
-    epoch_drops_ = s.epoch_drops;
+    pacing_wait_ = s.pacing_wait;
+    pending_acks_ = s.pending_acks;
     window_start_ = s.window_start;
     packets_copied_ = s.packets_copied;
     packets_offered_ = s.packets_offered;
     packets_dropped_ = s.packets_dropped;
     packets_marked_ = s.packets_marked;
     packets_accepted_ = s.packets_accepted;
-    cwnd_sum_ = s.cwnd_sum;
-    cwnd_samples_ = s.cwnd_samples;
   }
 
  private:
   void start();
   void reset(Tick now);
   void sender_pump();
+  void on_ack(Tick sent);
   void on_packet_delivered(Tick now);
   void on_packet_copied();
   void rtt_epoch();
 
   core::HostSystem& host_;
   // hostnet-audit: skip(cfg_, construction config; immutable after build)
-  DctcpConfig cfg_;
+  TcpConfig cfg_;
   std::unique_ptr<NicDevice> nic_;
   std::vector<std::unique_ptr<CopyCore>> copy_cores_;
   RingBuffer<Tick> ring_;  ///< arrival time of packets awaiting copy
 
-  // Sender state.
-  double cwnd_ = 16;
-  double alpha_ = 0;
+  // Sender state. The congestion-control half lives inside stack_ (its own
+  // Snapshot, carried as an opaque blob above); the engine keeps only the
+  // transport window and the CC inputs.
+  std::unique_ptr<TcpStack> stack_;
+  TransportTelemetry telemetry_;
   // Wire-side packets in flight against the sender's cwnd -- a transport
   // window, not a host credit domain. hostnet-lint: allow(raw-credit-counter)
   std::uint32_t inflight_ = 0;
   bool wire_busy_ = false;
-  std::uint64_t epoch_acks_ = 0;
-  std::uint64_t epoch_marks_ = 0;
-  std::uint64_t epoch_drops_ = 0;
+  bool pacing_wait_ = false;  ///< a pacing-gate timer is already scheduled
+  /// Send timestamps of accepted packets awaiting a delivery-clocked ACK
+  /// (ack_on_delivery() stacks only; deliveries happen in accept order, so
+  /// FIFO pairing is exact). Always empty for DCTCP.
+  RingBuffer<Tick> pending_acks_;
 
   // Window counters.
   Tick window_start_ = 0;
@@ -301,8 +308,6 @@ class TcpReceiver {
   std::uint64_t packets_dropped_ = 0;
   std::uint64_t packets_marked_ = 0;
   std::uint64_t packets_accepted_ = 0;
-  double cwnd_sum_ = 0;
-  std::uint64_t cwnd_samples_ = 0;
 };
 
 HOSTNET_SNAPSHOT_COVERS(CopyCore);

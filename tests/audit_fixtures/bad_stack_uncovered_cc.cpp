@@ -1,0 +1,38 @@
+// Bad fixture: a pluggable-TCP-stack-shaped class (net/tcp_stack.hpp) whose
+// congestion-control filter state `min_rtt_window_` is in the Snapshot
+// contract of neither save_state() nor load_state(). A restored stack would
+// resume with an empty RTT filter and diverge from the warm host -- exactly
+// the drift class the auditor exists to catch. Config members carry the
+// skip() idiom the real stacks use. Findings: one snapshot-save-missing and
+// one snapshot-load-missing, both on min_rtt_window_.
+#include <array>
+#include <cstdint>
+
+namespace fixture {
+
+class DelayStack {
+ public:
+  struct Snapshot {
+    double cwnd = 16.0;
+    std::uint32_t epochs = 0;
+  };
+
+  void save_state(Snapshot& out) const {
+    out.cwnd = cwnd_;
+    out.epochs = epochs_;
+  }
+
+  void load_state(const Snapshot& s) {
+    cwnd_ = s.cwnd;
+    epochs_ = s.epochs;
+  }
+
+ private:
+  // hostnet-audit: skip(base_rtt_, construction-time config, not evolving state)
+  std::int64_t base_rtt_ = 0;
+  double cwnd_ = 16.0;
+  std::uint32_t epochs_ = 0;
+  std::array<std::int64_t, 16> min_rtt_window_{};  // findings: save+load missing
+};
+
+}  // namespace fixture

@@ -58,6 +58,13 @@ class BadFixtures(unittest.TestCase):
         self.assert_findings(fixture("bad_load_missing.cpp"),
                              {"snapshot-load-missing": 1})
 
+    def test_stack_uncovered_cc_field(self):
+        # A TCP-stack-shaped class whose CC filter window is in neither
+        # save_state() nor load_state(): both sides must fire.
+        self.assert_findings(fixture("bad_stack_uncovered_cc.cpp"),
+                             {"snapshot-save-missing": 1,
+                              "snapshot-load-missing": 1})
+
     def test_asymmetric_snapshot_fields(self):
         # write-only, read-only, and dead Snapshot fields: three findings.
         self.assert_findings(fixture("bad_asymmetric.cpp"),
@@ -131,6 +138,7 @@ class TreeAudit(unittest.TestCase):
         for qual in ("Simulator", "CalendarQueue", "Channel",
                      "MemoryController", "Cha", "Core", "Iio",
                      "StorageDevice", "NicDevice", "CopyCore", "TcpReceiver",
+                     "DctcpStack", "BbrStack", "DavisStack",
                      "CreditPool", "HostSystem"):
             self.assertIn(qual, report["classes"])
 

@@ -127,6 +127,54 @@ TEST(FleetScenario, NegativeCasesCarryLineNumbers) {
   EXPECT_EQ(error_line("fleet f\n"), 1u);  // places no hosts
   // Duplicate template name.
   EXPECT_EQ(error_line("fleet f\ntemplate t\n  c2m a c2m_read\nend\ntemplate t\n"), 5u);
+  // tcp.stack: bad value, and override without a tcp_* placement to rewrite.
+  EXPECT_EQ(error_line("fleet f\ntemplate t\n  set tcp.stack reno\n  p2m a tcp_dctcp\nend\nhosts 1 t\n"), 3u);
+  EXPECT_EQ(error_line("fleet f\ntemplate t\n  set tcp.stack bbr\n  c2m a c2m_read\nend\nhosts 1 t\n"), 3u);
+  EXPECT_EQ(error_line("fleet f\ntemplate t\n  set tcp.stack bbr\n  p2m a fio_write\nend\nhosts 1 t\n"), 3u);
+}
+
+// Three receiver templates that differ only in congestion-control stack --
+// one via the workload name, one via the `set tcp.stack` override.
+constexpr const char* kStacksScenario = R"(
+fleet stacks
+seed 5
+warmup_us 20
+measure_us 60
+
+template rx-dctcp
+  c2m tenant-app c2m_read cores=2
+  p2m tenant-tcp tcp_dctcp
+end
+
+template rx-bbr
+  c2m tenant-app c2m_read cores=2
+  p2m tenant-tcp tcp_bbr
+end
+
+template rx-davis
+  set tcp.stack davis
+  c2m tenant-app c2m_read cores=2
+  p2m tenant-tcp tcp_dctcp
+end
+
+hosts 2 rx-dctcp
+hosts 2 rx-bbr
+hosts 2 rx-davis
+)";
+
+TEST(FleetScenario, ParsesTcpStackPlacements) {
+  const fleet::Scenario sc = fleet::Scenario::parse(kStacksScenario);
+  ASSERT_EQ(sc.templates().size(), 3u);
+  for (const fleet::HostTemplate& t : sc.templates()) {
+    ASSERT_TRUE(t.p2m.has_value());
+    ASSERT_TRUE(t.p2m->tcp.has_value());
+    EXPECT_FALSE(t.p2m->storage.has_value());
+  }
+  EXPECT_EQ(sc.templates()[0].p2m->tcp->stack, core::TcpStackKind::kDctcp);
+  EXPECT_EQ(sc.templates()[1].p2m->tcp->stack, core::TcpStackKind::kBbr);
+  // The override rewrites both the stack and the placement's reported name.
+  EXPECT_EQ(sc.templates()[2].p2m->tcp->stack, core::TcpStackKind::kDavis);
+  EXPECT_EQ(sc.templates()[2].p2m->name, "tcp_davis");
 }
 
 TEST(FleetHistogram, MergeMatchesCombinedStream) {
@@ -212,6 +260,23 @@ TEST(FleetRunner, FingerprintDedupIsStructural) {
   EXPECT_EQ(r.cache.outcome_hits, 3u * (7u - 2u));
   EXPECT_EQ(r.cache.outcome_misses, 3u * 2u);
   EXPECT_EQ(r.cache.checkpoint_hits, 0u) << "identical replicas memoize; nothing re-runs";
+}
+
+TEST(FleetRunner, MixedStacksShardAndForkBitIdentically) {
+  // Templates identical except for TcpSpec::stack: the stack kind must
+  // reach the fingerprint (3 shards, no cross-stack aliasing) and every
+  // stack's replicas must fork bit-identically to a cold run.
+  const fleet::Scenario sc = fleet::Scenario::parse(kStacksScenario);
+  const fleet::FleetReport fork = run(sc, 2, core::SweepMode::kFork);
+  const fleet::FleetReport cold = run(sc, 2, core::SweepMode::kCold);
+  expect_same_results(sc, fork, cold);
+  EXPECT_EQ(fork.fingerprints, 3u);
+  EXPECT_EQ(fork.shards, 3u);
+  EXPECT_EQ(fork.hosts, 6u);
+  // Per fingerprint: 3 colocation windows warm cold, the identical replica
+  // memoizes.
+  EXPECT_EQ(fork.cache.checkpoint_misses, 3u * 3u);
+  EXPECT_EQ(fork.cache.outcome_hits, 3u * 3u);
 }
 
 TEST(FleetRunner, SingleSidedHostsAreRegimeNone) {
